@@ -1,0 +1,252 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), one benchmark per artifact, plus the ablations from DESIGN.md and
+// micro-benchmarks of the simulation substrate itself.
+//
+// Each figure benchmark runs the full experiment per iteration and attaches
+// the headline numbers as custom metrics (us = microseconds of simulated
+// latency, MB/s = simulated bandwidth), so `go test -bench` output can be
+// compared directly against the paper. Run with -v to get the full data
+// tables.
+package portals3
+
+import (
+	"strings"
+	"testing"
+
+	"portals3/internal/experiments"
+	"portals3/internal/machine"
+	"portals3/internal/model"
+	"portals3/internal/netpipe"
+	"portals3/internal/sim"
+)
+
+// logFigure attaches the rendered data table to the benchmark output.
+func logFigure(b *testing.B, f experiments.Figure) {
+	var sb strings.Builder
+	f.Render(&sb)
+	b.Log("\n" + sb.String())
+}
+
+// latencyAt extracts a series' latency at one size, in microseconds.
+func latencyAt(f experiments.Figure, series string, bytes int) float64 {
+	for _, s := range f.Series {
+		if s.Series != series {
+			continue
+		}
+		for _, pt := range s.Points {
+			if pt.Bytes == bytes {
+				return pt.Latency.Micros()
+			}
+		}
+	}
+	return 0
+}
+
+// mbpsAt extracts a series' bandwidth at one size.
+func mbpsAt(f experiments.Figure, series string, bytes int) float64 {
+	for _, s := range f.Series {
+		if s.Series != series {
+			continue
+		}
+		for _, pt := range s.Points {
+			if pt.Bytes == bytes {
+				return pt.MBps
+			}
+		}
+	}
+	return 0
+}
+
+// BenchmarkFigure4Latency regenerates paper Figure 4: ping-pong latency,
+// 1 B – 1 KB, for put, get, MPICH-1.2.6 and MPICH2. Paper values at one
+// byte: 5.39, 6.60, 7.97 and 8.40 µs.
+func BenchmarkFigure4Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure4(model.Defaults())
+		b.ReportMetric(latencyAt(f, "put", 1), "put_us")
+		b.ReportMetric(latencyAt(f, "get", 1), "get_us")
+		b.ReportMetric(latencyAt(f, "mpich-1.2.6", 1), "mpich1_us")
+		b.ReportMetric(latencyAt(f, "mpich2", 1), "mpich2_us")
+		if i == 0 {
+			logFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkFigure5UniBandwidth regenerates paper Figure 5: uni-directional
+// ping-pong bandwidth to 8 MB. Paper peak: put 1108.76 MB/s,
+// half-bandwidth around 7 KB.
+func BenchmarkFigure5UniBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure5(model.Defaults())
+		b.ReportMetric(mbpsAt(f, "put", 8<<20), "put_MB/s")
+		b.ReportMetric(mbpsAt(f, "get", 8<<20), "get_MB/s")
+		b.ReportMetric(mbpsAt(f, "mpich2", 8<<20), "mpich2_MB/s")
+		if i == 0 {
+			logFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkFigure6StreamBandwidth regenerates paper Figure 6: streaming
+// bandwidth. Paper: half-bandwidth around 5 KB; the get curve suffers
+// badly (blocking operation, no pipelining).
+func BenchmarkFigure6StreamBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure6(model.Defaults())
+		b.ReportMetric(mbpsAt(f, "put", 8192), "put8K_MB/s")
+		b.ReportMetric(mbpsAt(f, "get", 8192), "get8K_MB/s")
+		b.ReportMetric(mbpsAt(f, "put", 8<<20), "put_MB/s")
+		if i == 0 {
+			logFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkFigure7BidirBandwidth regenerates paper Figure 7:
+// bi-directional bandwidth. Paper peak: put 2203.19 MB/s at 8 MB.
+func BenchmarkFigure7BidirBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure7(model.Defaults())
+		b.ReportMetric(mbpsAt(f, "put", 8<<20), "put_MB/s")
+		b.ReportMetric(mbpsAt(f, "mpich2", 8<<20), "mpich2_MB/s")
+		if i == 0 {
+			logFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkTrapAndInterruptCosts reproduces the scalar claims of §3.3: a
+// null trap costs ~75 ns on Catamount and an interrupt at least 2 µs.
+func BenchmarkTrapAndInterruptCosts(b *testing.B) {
+	p := model.Defaults()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(p.TrapOverhead.Nanos(), "trap_ns")
+		b.ReportMetric(p.InterruptOverhead.Micros(), "interrupt_us")
+		// Measured end to end: the difference between a 12-byte put (one
+		// interrupt) and a 16-byte put (two interrupts) exposes the
+		// interrupt cost on the wire path.
+		cfg := netpipe.DefaultConfig()
+		cfg.MaxBytes = 16
+		r := netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg)
+		var at11, at16 sim.Time
+		for _, pt := range r.Points {
+			if pt.Bytes == 11 {
+				at11 = pt.Latency
+			}
+			if pt.Bytes == 16 {
+				at16 = pt.Latency
+			}
+		}
+		b.ReportMetric((at16 - at11).Micros(), "inline_step_us")
+	}
+}
+
+// BenchmarkAblationAcceleratedMode is ablation A1: generic vs accelerated
+// processing for the same workload (§3.3's forward-looking design).
+func BenchmarkAblationAcceleratedMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationAccelerated(model.Defaults())
+		find := func(r netpipe.Result, bytes int) float64 {
+			for _, pt := range r.Points {
+				if pt.Bytes == bytes {
+					return pt.Latency.Micros()
+				}
+			}
+			return 0
+		}
+		b.ReportMetric(find(a.Generic, 1), "generic_us")
+		b.ReportMetric(find(a.Accel, 1), "accel_us")
+		b.ReportMetric(find(a.Generic, 1024), "generic1K_us")
+		b.ReportMetric(find(a.Accel, 1024), "accel1K_us")
+	}
+}
+
+// BenchmarkAblationGoBackN is ablation A2: incast resource exhaustion
+// under the panic policy vs the go-back-n recovery protocol (§4.3).
+func BenchmarkAblationGoBackN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationGoBackN(model.Defaults(), 4, 30, 2048)
+		b.ReportMetric(float64(r[0].Completed), "panic_delivered")
+		b.ReportMetric(float64(r[1].Completed), "gbn_delivered")
+		b.ReportMetric(float64(r[1].Retransmits), "gbn_retransmits")
+		if i == 0 {
+			b.Logf("\n%v\n%v", r[0], r[1])
+		}
+	}
+}
+
+// BenchmarkSimulatorEventThroughput measures the substrate itself: how
+// many simulator events per second of host time the kernel dispatches.
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	s := sim.New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(sim.Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(sim.Nanosecond, tick)
+	s.Run()
+}
+
+// BenchmarkSimulatedPut measures host wall time per fully simulated
+// 1-byte put (the cost of one end-to-end message through every layer).
+func BenchmarkSimulatedPut(b *testing.B) {
+	cfg := netpipe.DefaultConfig()
+	cfg.MaxBytes = 1
+	cfg.MinIters = b.N
+	cfg.MaxIters = b.N
+	cfg.Mode = machine.Generic
+	b.ResetTimer()
+	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
+}
+
+// BenchmarkAblationInlineOptimization removes the ≤12-byte
+// payload-in-header path (§6) and reports the small-message cost.
+func BenchmarkAblationInlineOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationInline(model.Defaults())
+		find := func(r netpipe.Result, bytes int) float64 {
+			for _, pt := range r.Points {
+				if pt.Bytes == bytes {
+					return pt.Latency.Micros()
+				}
+			}
+			return 0
+		}
+		b.ReportMetric(find(a.With, 8), "with_us")
+		b.ReportMetric(find(a.Without, 8), "without_us")
+	}
+}
+
+// BenchmarkAblationInterruptCoalescing removes the batch-drain interrupt
+// handler (§4.1) and reports the interrupt inflation under streaming.
+func BenchmarkAblationInterruptCoalescing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationCoalescing(model.Defaults())
+		b.ReportMetric(float64(a.IrqWith), "irq_with")
+		b.ReportMetric(float64(a.IrqWithout), "irq_without")
+	}
+}
+
+// BenchmarkAblationRxFIFOSize shrinks the receive FIFO to 2 KB and reports
+// the mid-size latency penalty from early sender stalls.
+func BenchmarkAblationRxFIFOSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationRxFIFO(model.Defaults())
+		find := func(r netpipe.Result, bytes int) float64 {
+			for _, pt := range r.Points {
+				if pt.Bytes == bytes {
+					return pt.Latency.Micros()
+				}
+			}
+			return 0
+		}
+		b.ReportMetric(find(a.Big, 8192), "fifo16K_us")
+		b.ReportMetric(find(a.Small, 8192), "fifo2K_us")
+	}
+}

@@ -1,0 +1,176 @@
+// Command netpipe is the benchmark driver: it regenerates the paper's
+// figures over the simulated XT3 (two adjacent Catamount nodes, as in §5)
+// and prints NetPIPE-style tables.
+//
+// Reproduce a whole figure:
+//
+//	netpipe -fig 4        # latency (paper Figure 4)
+//	netpipe -fig 5        # uni-directional bandwidth (Figure 5)
+//	netpipe -fig 6        # streaming bandwidth (Figure 6)
+//	netpipe -fig 7        # bi-directional bandwidth (Figure 7)
+//	netpipe -fig all -checks
+//
+// Or run one curve:
+//
+//	netpipe -series put -pattern pingpong -max 1048576
+//	netpipe -series mpich2 -pattern stream
+//	netpipe -series put -pattern pingpong -accel   # accelerated mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"portals3/internal/experiments"
+	"portals3/internal/machine"
+	"portals3/internal/model"
+	"portals3/internal/mpi"
+	"portals3/internal/netpipe"
+	"portals3/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 4, 5, 6, 7 or all")
+	series := flag.String("series", "", "single curve: put, get, mpich1, mpich2")
+	pattern := flag.String("pattern", "pingpong", "pingpong, stream or bidir")
+	maxBytes := flag.Int("max", 8<<20, "largest message size in bytes")
+	accel := flag.Bool("accel", false, "use accelerated-mode Portals processing")
+	checks := flag.Bool("checks", false, "print paper-vs-measured checks (with -fig)")
+	traceOut := flag.String("trace", "", "write a chrome://tracing timeline of the run (with -series)")
+	stats := flag.Bool("stats", false, "print machine counters after the run (with -series)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations (A1-A5) and print checks")
+	flag.Parse()
+
+	p := model.Defaults()
+	switch {
+	case *ablations:
+		runAblations(p)
+	case *fig != "":
+		runFigures(p, *fig, *checks)
+	case *series != "":
+		runSeries(p, *series, *pattern, *maxBytes, *accel, *traceOut, *stats)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runAblations reproduces the A1-A5 ablation studies of DESIGN.md.
+func runAblations(p model.Params) {
+	fmt.Println("# A1: generic vs accelerated mode (paper §3.3)")
+	experiments.RenderChecks(os.Stdout, experiments.AblationAccelerated(p).Checks())
+	fmt.Println("\n# A2: resource exhaustion, panic vs go-back-n (paper §4.3)")
+	gbn := experiments.AblationGoBackN(p, 4, 30, 2048)
+	fmt.Printf("  %v\n  %v\n", gbn[0], gbn[1])
+	experiments.RenderChecks(os.Stdout, experiments.GbnChecks(gbn))
+	fmt.Println("\n# A3: inline payload optimization removed (paper §6)")
+	experiments.RenderChecks(os.Stdout, experiments.AblationInline(p).Checks())
+	fmt.Println("\n# A4: interrupt coalescing removed (paper §4.1)")
+	experiments.RenderChecks(os.Stdout, experiments.AblationCoalescing(p).Checks())
+	fmt.Println("\n# A5: RX FIFO shrunk to 2 KB")
+	experiments.RenderChecks(os.Stdout, experiments.AblationRxFIFO(p).Checks())
+	fmt.Println("\n# model robustness")
+	experiments.RenderChecks(os.Stdout, experiments.ChunkRobustness(p))
+}
+
+func runFigures(p model.Params, which string, checks bool) {
+	var f4, f5, f6, f7 experiments.Figure
+	show := func(f experiments.Figure) { f.Render(os.Stdout); fmt.Println() }
+	switch which {
+	case "4":
+		f4 = experiments.Figure4(p)
+		show(f4)
+		if checks {
+			experiments.RenderChecks(os.Stdout, experiments.LatencyChecks(f4))
+		}
+	case "5", "6", "7":
+		var f experiments.Figure
+		switch which {
+		case "5":
+			f = experiments.Figure5(p)
+		case "6":
+			f = experiments.Figure6(p)
+		case "7":
+			f = experiments.Figure7(p)
+		}
+		show(f)
+	case "all":
+		f4, f5, f6, f7 = experiments.Figure4(p), experiments.Figure5(p), experiments.Figure6(p), experiments.Figure7(p)
+		for _, f := range []experiments.Figure{f4, f5, f6, f7} {
+			show(f)
+		}
+		if checks {
+			experiments.RenderChecks(os.Stdout, experiments.LatencyChecks(f4))
+			experiments.RenderChecks(os.Stdout, experiments.BandwidthChecks(f5, f6, f7))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", which)
+		os.Exit(2)
+	}
+}
+
+func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool, traceOut string, stats bool) {
+	cfg := netpipe.DefaultConfig()
+	cfg.MaxBytes = maxBytes
+	if accel {
+		cfg.Mode = machine.Accelerated
+	}
+	var mach *machine.Machine
+	var tracer *trace.Tracer
+	if traceOut != "" || stats {
+		cfg.Observe = func(m *machine.Machine) {
+			mach = m
+			if traceOut != "" {
+				tracer = m.EnableTracing()
+			}
+		}
+	}
+	var pat netpipe.Pattern
+	switch pattern {
+	case "pingpong":
+		pat = netpipe.PingPong
+	case "stream":
+		pat = netpipe.Stream
+	case "bidir":
+		pat = netpipe.Bidir
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", pattern)
+		os.Exit(2)
+	}
+	var r netpipe.Result
+	switch series {
+	case "put":
+		r = netpipe.RunPortals(p, netpipe.OpPut, pat, cfg)
+	case "get":
+		r = netpipe.RunPortals(p, netpipe.OpGet, pat, cfg)
+	case "mpich1":
+		r = netpipe.RunMPI(p, mpi.MPICH1, pat, cfg)
+	case "mpich2":
+		r = netpipe.RunMPI(p, mpi.MPICH2, pat, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown series %q\n", series)
+		os.Exit(2)
+	}
+	fmt.Printf("# %s %s (mode: %v)\n", r.Series, pat, cfg.Mode)
+	for _, pt := range r.Points {
+		fmt.Println(pt)
+	}
+	if stats && mach != nil {
+		fmt.Println()
+		fmt.Print(mach.Stats())
+	}
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tracer.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s (open in chrome://tracing or Perfetto)\n", tracer.Len(), traceOut)
+	}
+}

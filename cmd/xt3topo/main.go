@@ -1,0 +1,107 @@
+// Command xt3topo inspects the simulated machine's interconnect: node
+// coordinates, dimension-ordered routes, hop counts and the wire-latency
+// estimates behind the paper's 2 µs nearest-neighbor / 5 µs worst-case
+// requirements (§1).
+//
+//	xt3topo -info                      # Red Storm shape and diameter
+//	xt3topo -route 0,4711              # path between two nodes
+//	xt3topo -dims 8x8x8 -wrap xyz -route 0,511
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"portals3/internal/model"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+)
+
+func main() {
+	dims := flag.String("dims", "", "topology as NxNxN (default: Red Storm 27x16x24)")
+	wrap := flag.String("wrap", "z", "torus axes, subset of xyz")
+	info := flag.Bool("info", false, "print machine shape summary")
+	route := flag.String("route", "", "print the route between two nodes: src,dst")
+	flag.Parse()
+
+	tp := buildTopo(*dims, *wrap)
+	p := model.Defaults()
+
+	if *info || *route == "" {
+		nx, ny, nz := tp.Dims()
+		fmt.Printf("topology: %d x %d x %d = %d nodes\n", nx, ny, nz, tp.Nodes())
+		fmt.Printf("torus axes:")
+		for _, a := range []topo.Axis{topo.X, topo.Y, topo.Z} {
+			if tp.Wrapped(a) {
+				fmt.Printf(" %v", a)
+			}
+		}
+		fmt.Println()
+		d := tp.Diameter()
+		fmt.Printf("diameter: %d hops\n", d)
+		fmt.Printf("per-hop latency: %v\n", p.HopLatency)
+		near := wireLatency(&p, 1)
+		far := wireLatency(&p, d)
+		fmt.Printf("wire latency (64B packet): nearest neighbor %v, farthest pair %v\n", near, far)
+		fmt.Printf("(paper §1 requirements: 2 us nearest-neighbor MPI, 5 us farthest)\n")
+	}
+
+	if *route != "" {
+		parts := strings.Split(*route, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "route wants src,dst")
+			os.Exit(2)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		dst, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || !tp.Valid(topo.NodeID(src)) || !tp.Valid(topo.NodeID(dst)) {
+			fmt.Fprintln(os.Stderr, "bad node ids")
+			os.Exit(2)
+		}
+		s, d := topo.NodeID(src), topo.NodeID(dst)
+		fmt.Printf("route %d%v -> %d%v: %d hops\n", s, tp.Coord(s), d, tp.Coord(d), tp.Hops(s, d))
+		path := tp.Route(s, d)
+		var dirs []string
+		for _, h := range path {
+			dirs = append(dirs, h.String())
+		}
+		fmt.Printf("  links: %s\n", strings.Join(dirs, " "))
+		fmt.Printf("  wire latency (64B packet): %v\n", wireLatency(&p, len(path)))
+	}
+}
+
+// wireLatency is the pure network time for a header packet over h hops.
+func wireLatency(p *model.Params, hops int) sim.Time {
+	return 2*p.InjectLatency + sim.Time(hops)*(p.HopLatency+sim.BytesAt(64, p.LinkBps))
+}
+
+func buildTopo(dims, wrap string) *topo.Topology {
+	if dims == "" {
+		return topo.RedStorm()
+	}
+	parts := strings.Split(strings.ToLower(dims), "x")
+	if len(parts) != 3 {
+		fmt.Fprintln(os.Stderr, "dims wants NxNxN")
+		os.Exit(2)
+	}
+	var n [3]int
+	for i, s := range parts {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad dimension %q\n", s)
+			os.Exit(2)
+		}
+		n[i] = v
+	}
+	w := strings.ToLower(wrap)
+	tp, err := topo.New(n[0], n[1], n[2],
+		strings.Contains(w, "x"), strings.Contains(w, "y"), strings.Contains(w, "z"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return tp
+}

@@ -1,0 +1,13 @@
+// Package portals3 is a Go reproduction of "Implementation and Performance
+// of Portals 3.3 on the Cray XT3" (Brightwell, Hudson, Pedretti, Riesen,
+// Underwood; IEEE Cluster 2005): the complete Portals 3.3 message-passing
+// interface implemented over a deterministic discrete-event simulation of
+// the XT3's SeaStar network interface, firmware, operating systems and 3D
+// interconnect, plus the MPI layers and the NetPIPE benchmark used in the
+// paper's evaluation.
+//
+// The root package only anchors the module documentation and the benchmark
+// harness (bench_test.go); the implementation lives under internal/ — see
+// README.md for the architecture tour and DESIGN.md for the system
+// inventory and experiment index.
+package portals3

@@ -1,0 +1,97 @@
+// Accelerated: the paper's forward-looking mode (§3.3) side by side with
+// generic mode. In generic mode the host matches headers and the data path
+// takes interrupts; in accelerated mode "much of the Portals library
+// functionality, including matching, will be offloaded to the SeaStar
+// firmware ... both interrupts will be eliminated". The example measures
+// one-way put latency in both modes across the small-message range and
+// reports the interrupt counters.
+//
+//	go run ./examples/accelerated
+package main
+
+import (
+	"fmt"
+
+	"portals3/internal/core"
+	"portals3/internal/machine"
+	"portals3/internal/model"
+	"portals3/internal/sim"
+)
+
+const (
+	ptl   = 4
+	bits  = 1
+	iters = 50
+)
+
+// measure runs a put ping-pong of the given size in the given mode and
+// returns the one-way latency plus total data-path interrupts.
+func measure(mode machine.Mode, size int) (sim.Time, uint64) {
+	m := machine.NewPair(model.Defaults())
+	var rtt sim.Time
+
+	setup := func(app *machine.App) (core.EQHandle, core.MDHandle) {
+		eq, _ := app.API.EQAlloc(1024)
+		me, _ := app.API.MEAttach(ptl, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny},
+			bits, 0, core.Retain, core.After)
+		app.API.MDAttach(me, core.MDesc{
+			Region:    app.Alloc(1 << 16),
+			Threshold: core.ThresholdInfinite,
+			Options:   core.MDOpPut | core.MDManageRemote | core.MDEventStartDisable,
+			EQ:        eq,
+		}, core.Retain)
+		md, _ := app.API.MDBind(core.MDesc{
+			Region:    app.Alloc(1 << 16),
+			Threshold: core.ThresholdInfinite,
+			Options:   core.MDEventStartDisable,
+			EQ:        eq,
+		})
+		return eq, md
+	}
+	waitPut := func(app *machine.App, eq core.EQHandle) {
+		for {
+			ev, err := app.API.EQWait(eq)
+			if err != nil {
+				panic(err)
+			}
+			if ev.Type == core.EventPutEnd {
+				return
+			}
+		}
+	}
+
+	var a, b *machine.App
+	b, _ = m.Spawn(1, "pong", mode, func(app *machine.App) {
+		eq, md := setup(app)
+		for i := 0; i < iters+1; i++ {
+			waitPut(app, eq)
+			app.API.PutRegion(md, 0, size, core.NoAck, a.ID(), ptl, bits, 0, 0)
+		}
+	})
+	a, _ = m.Spawn(0, "ping", mode, func(app *machine.App) {
+		eq, md := setup(app)
+		app.Proc.Sleep(50 * sim.Microsecond)
+		app.API.PutRegion(md, 0, size, core.NoAck, b.ID(), ptl, bits, 0, 0)
+		waitPut(app, eq)
+		t0 := app.Proc.Now()
+		for i := 0; i < iters; i++ {
+			app.API.PutRegion(md, 0, size, core.NoAck, b.ID(), ptl, bits, 0, 0)
+			waitPut(app, eq)
+		}
+		rtt = (app.Proc.Now() - t0) / iters
+	})
+	m.Run()
+	return rtt / 2, m.Node(0).Kernel.Interrupts + m.Node(1).Kernel.Interrupts
+}
+
+func main() {
+	fmt.Println("one-way put latency, generic vs accelerated (paper §3.3)")
+	fmt.Printf("%8s %12s %12s %10s %14s\n", "size(B)", "generic", "accelerated", "saved", "interrupts g/a")
+	for _, size := range []int{0, 8, 12, 16, 64, 256, 1024, 4096, 16384} {
+		gen, girq := measure(machine.Generic, size)
+		acc, airq := measure(machine.Accelerated, size)
+		fmt.Printf("%8d %12v %12v %10v %8d / %d\n", size, gen, acc, gen-acc, girq, airq)
+	}
+	fmt.Println("\nnote the step past 12 bytes in generic mode (second interrupt, §6)")
+	fmt.Println("and that the accelerated data path takes zero interrupts.")
+}

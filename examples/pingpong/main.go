@@ -1,0 +1,96 @@
+// Pingpong: latency measurement against the raw Portals API, showing the
+// paper's two headline small-message effects: the ~5.4 µs one-way latency
+// and the step past the 12-byte payload-in-header-packet optimization (§6).
+//
+//	go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+
+	"portals3/internal/core"
+	"portals3/internal/machine"
+	"portals3/internal/model"
+	"portals3/internal/sim"
+)
+
+const (
+	ptl   = 4
+	bits  = 1
+	iters = 100
+)
+
+// setup posts the standard receive side: a remotely-managed descriptor so
+// every round lands at offset zero.
+func setup(app *machine.App) (core.EQHandle, core.MDHandle) {
+	eq, _ := app.API.EQAlloc(1024)
+	me, _ := app.API.MEAttach(ptl, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny},
+		bits, 0, core.Retain, core.After)
+	buf := app.Alloc(1 << 16)
+	app.API.MDAttach(me, core.MDesc{
+		Region:    buf,
+		Threshold: core.ThresholdInfinite,
+		Options:   core.MDOpPut | core.MDManageRemote | core.MDEventStartDisable,
+		EQ:        eq,
+	}, core.Retain)
+	src := app.Alloc(1 << 16)
+	md, _ := app.API.MDBind(core.MDesc{
+		Region:    src,
+		Threshold: core.ThresholdInfinite,
+		Options:   core.MDEventStartDisable,
+		EQ:        eq,
+	})
+	return eq, md
+}
+
+// waitPut blocks until the next incoming put completes.
+func waitPut(app *machine.App, eq core.EQHandle) {
+	for {
+		ev, err := app.API.EQWait(eq)
+		if err != nil {
+			panic(err)
+		}
+		if ev.Type == core.EventPutEnd {
+			return
+		}
+	}
+}
+
+func main() {
+	sizes := []int{0, 1, 4, 8, 12, 13, 16, 64, 256, 1024}
+	fmt.Println("size(B)   one-way latency")
+	for _, size := range sizes {
+		m := machine.NewPair(model.Defaults())
+		var rtt sim.Time
+		var a, b *machine.App
+		b, _ = m.Spawn(1, "pong", machine.Generic, func(app *machine.App) {
+			eq, md := setup(app)
+			for i := 0; i < iters+1; i++ {
+				waitPut(app, eq)
+				app.API.PutRegion(md, 0, size, core.NoAck, a.ID(), ptl, bits, 0, 0)
+			}
+		})
+		a, _ = m.Spawn(0, "ping", machine.Generic, func(app *machine.App) {
+			eq, md := setup(app)
+			app.Proc.Sleep(50 * sim.Microsecond)
+			// Warmup round, then the timed loop.
+			app.API.PutRegion(md, 0, size, core.NoAck, b.ID(), ptl, bits, 0, 0)
+			waitPut(app, eq)
+			t0 := app.Proc.Now()
+			for i := 0; i < iters; i++ {
+				app.API.PutRegion(md, 0, size, core.NoAck, b.ID(), ptl, bits, 0, 0)
+				waitPut(app, eq)
+			}
+			rtt = (app.Proc.Now() - t0) / iters
+		})
+		m.Run()
+		note := ""
+		if size == 12 {
+			note = "  <- last size that rides the header packet (§6)"
+		}
+		if size == 13 {
+			note = "  <- first size needing the second interrupt"
+		}
+		fmt.Printf("%7d   %v%s\n", size, rtt/2, note)
+	}
+}

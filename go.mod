@@ -1,0 +1,3 @@
+module portals3
+
+go 1.22

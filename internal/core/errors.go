@@ -1,0 +1,79 @@
+// Package core implements the Portals 3.3 message-passing interface — the
+// paper's primary contribution. It provides the full API surface of the
+// Sandia/UNM specification: network interfaces, portal tables, match entries
+// with match/ignore bits, memory descriptors with thresholds and offset
+// management, event queues, access control entries, and the one-sided
+// Put/Get operations with acknowledgments and replies.
+//
+// The library is address-space agnostic, exactly like the reference
+// implementation the paper describes (§3.1): the same matching and delivery
+// code runs in the host kernel for generic mode and on the NIC processor for
+// accelerated mode. Crossing costs (traps, interrupts, command pushes) are
+// charged by the NAL bridges in package nal, never here, so the semantics
+// stay pure and independently testable.
+package core
+
+import "errors"
+
+// Portals return codes. Names follow the specification's PTL_* constants,
+// Go-ified. Functions return nil on PTL_OK.
+var (
+	// ErrNoInit: the network interface has not been initialized.
+	ErrNoInit = errors.New("PTL_NO_INIT: interface not initialized")
+	// ErrInvalidHandle: a handle does not name a live object.
+	ErrInvalidHandle = errors.New("PTL_INVALID_HANDLE: stale or bogus handle")
+	// ErrPtIndexInvalid: portal table index out of range.
+	ErrPtIndexInvalid = errors.New("PTL_PT_INDEX_INVALID: portal index out of range")
+	// ErrAcIndexInvalid: access control table index out of range.
+	ErrAcIndexInvalid = errors.New("PTL_AC_INDEX_INVALID: ACL index out of range")
+	// ErrMDIllegal: a memory descriptor is malformed (bad region, options).
+	ErrMDIllegal = errors.New("PTL_MD_ILLEGAL: malformed memory descriptor")
+	// ErrMDInUse: unlink/update refused, operations are in flight.
+	ErrMDInUse = errors.New("PTL_MD_IN_USE: memory descriptor busy")
+	// ErrMDNoUpdate: MDUpdate's conditional failed (event queue not empty).
+	ErrMDNoUpdate = errors.New("PTL_MD_NO_UPDATE: conditional update failed")
+	// ErrMEInUse: the match entry still has a memory descriptor attached.
+	ErrMEInUse = errors.New("PTL_ME_IN_USE: match entry busy")
+	// ErrMEListTooLong: match list length limit exceeded.
+	ErrMEListTooLong = errors.New("PTL_ME_LIST_TOO_LONG: match list limit exceeded")
+	// ErrEQEmpty: no event pending.
+	ErrEQEmpty = errors.New("PTL_EQ_EMPTY: no event")
+	// ErrEQDropped: events were lost to event-queue overflow.
+	ErrEQDropped = errors.New("PTL_EQ_DROPPED: event queue overflowed, events lost")
+	// ErrNoSpace: a resource pool (ME, MD, EQ, AC) is exhausted.
+	ErrNoSpace = errors.New("PTL_NO_SPACE: resource exhausted")
+	// ErrProcessInvalid: the target process identifier is not valid.
+	ErrProcessInvalid = errors.New("PTL_PROCESS_INVALID: bad process id")
+	// ErrSegv: a memory descriptor references memory outside the region.
+	ErrSegv = errors.New("PTL_SEGV: bad memory reference")
+	// ErrInvalidArg catches remaining argument validation failures.
+	ErrInvalidArg = errors.New("PTL_INVALID_ARG: invalid argument")
+)
+
+// DropReason explains why an incoming message was discarded at the target.
+// Drops are counted in the SRDropCount status register; the initiator is
+// not notified (one-sided semantics).
+type DropReason int
+
+// Reasons an incoming operation can be dropped.
+const (
+	DropNone       DropReason = iota
+	DropNoPtlEntry            // portal index out of range or unused
+	DropACDenied              // no access control entry permits the sender
+	DropNoMatch               // no match entry matched
+	DropNoMD                  // matched entry has no memory descriptor
+	DropWrongOp               // MD does not allow this operation type
+	DropThreshold             // MD threshold exhausted
+	DropNoFit                 // message larger than remaining space, no truncate
+	DropBadHandle             // reply/ack names a dead MD
+	DropCRC                   // end-to-end CRC failure
+)
+
+func (r DropReason) String() string {
+	names := [...]string{"none", "no-ptl-entry", "acl-denied", "no-match",
+		"no-md", "wrong-op", "threshold", "no-fit", "bad-handle", "crc"}
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return "unknown"
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"portals3/internal/sim"
+	"portals3/internal/trace"
+)
+
+// EventType enumerates Portals event kinds (ptl_event_kind_t).
+type EventType int
+
+// Event kinds. START events fire when the library begins processing an
+// operation (the header has been matched); END events fire when the data
+// movement has completed.
+const (
+	// EventGetStart/End: an incoming get began/finished at the target.
+	EventGetStart EventType = iota
+	EventGetEnd
+	// EventPutStart/End: an incoming put began/finished at the target.
+	EventPutStart
+	EventPutEnd
+	// EventReplyStart/End: the reply to our get began/finished arriving.
+	EventReplyStart
+	EventReplyEnd
+	// EventSendStart/End: our outgoing put began/finished transmission
+	// (END means the local buffer may be reused).
+	EventSendStart
+	EventSendEnd
+	// EventAck: the acknowledgment for our put arrived.
+	EventAck
+	// EventUnlink: a match entry or memory descriptor was automatically
+	// unlinked (threshold or max_size exhaustion).
+	EventUnlink
+)
+
+func (t EventType) String() string {
+	names := [...]string{"GET_START", "GET_END", "PUT_START", "PUT_END",
+		"REPLY_START", "REPLY_END", "SEND_START", "SEND_END", "ACK", "UNLINK"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// Event is one entry in an event queue (ptl_event_t).
+type Event struct {
+	Type      EventType
+	Initiator ProcessID // who caused the event
+	UID       uint32
+	PtlIndex  int
+	MatchBits uint64
+	RLength   int // requested length
+	MLength   int // manipulated (actually moved) length
+	Offset    int // offset the operation used in the descriptor
+	MD        MDHandle
+	User      interface{} // the descriptor's user pointer (ptl_event_t md.user_ptr)
+	HdrData   uint64
+	Unlinked  bool // the operation auto-unlinked the descriptor
+	NIFail    bool // delivery failed (end-to-end CRC error)
+	Sequence  uint64
+	At        sim.Time // virtual time the event was posted (diagnostic)
+}
+
+// EQ is an event queue: a fixed-size ring written by the library and read
+// by the application. Overflow drops the newest events and poisons the
+// queue with ErrEQDropped, as the specification requires.
+type EQ struct {
+	lib     *Lib
+	handle  EQHandle
+	ring    []Event
+	head    int // next slot to read
+	count   int // occupied slots
+	dropped bool
+	seq     uint64
+	freed   bool
+
+	// signal wakes processes blocked in EQWait; the NAL arranges the
+	// delivery costs, the queue only does bookkeeping.
+	signal *sim.Signal
+}
+
+func newEQ(lib *Lib, h EQHandle, size int) *EQ {
+	return &EQ{lib: lib, handle: h, ring: make([]Event, size), signal: sim.NewSignal(lib.sim)}
+}
+
+// post appends an event, dropping it (and poisoning the queue) on overflow.
+// The wakeup signal may be deferred by the NAL driver (Lib.BeginDefer) so
+// blocked processes resume only when the kernel finishes processing the
+// triggering message, as on the real machine.
+func (q *EQ) post(ev Event) {
+	if q.lib.deferWake {
+		q.lib.deferred = append(q.lib.deferred, deferredEvent{q: q, ev: ev})
+		return
+	}
+	q.insert(ev)
+}
+
+// insert writes the event record into the (host-memory) ring and wakes
+// waiters.
+func (q *EQ) insert(ev Event) {
+	if q.freed {
+		return
+	}
+	q.seq++
+	ev.Sequence = q.seq
+	ev.At = q.lib.sim.Now()
+	if q.count == len(q.ring) {
+		q.dropped = true
+		q.lib.counters.eqDrops++
+	} else {
+		q.ring[(q.head+q.count)%len(q.ring)] = ev
+		q.count++
+	}
+	q.lib.Trace.Instant(int(q.lib.id.Nid), trace.TrackApp, "portals", ev.Type.String(), q.lib.sim.Now(),
+		map[string]interface{}{"pid": q.lib.id.Pid, "mlen": ev.MLength, "seq": ev.Sequence})
+	q.signal.Raise()
+}
+
+// get removes the oldest event. It returns ErrEQDropped (with a valid
+// event, if one is available) when overflow has lost events, clearing the
+// poisoned state; ErrEQEmpty when nothing is pending.
+func (q *EQ) get() (Event, error) {
+	if q.count == 0 {
+		if q.dropped {
+			q.dropped = false
+			return Event{}, ErrEQDropped
+		}
+		return Event{}, ErrEQEmpty
+	}
+	ev := q.ring[q.head]
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
+	if q.dropped {
+		q.dropped = false
+		return ev, ErrEQDropped
+	}
+	return ev, nil
+}
+
+// Pending reports queued events.
+func (q *EQ) Pending() int { return q.count }
+
+// Signal exposes the wakeup used by blocking waits. NAL bridges use it to
+// implement PtlEQWait; tests use it to observe wakeups.
+func (q *EQ) Signal() *sim.Signal { return q.signal }

@@ -1,0 +1,175 @@
+package core_test
+
+// Runnable documentation examples for the Portals 3.3 API, built over the
+// zero-latency loopback harness (semantics only — timing lives in the
+// machine layer; see examples/ for full-stack programs).
+
+import (
+	"fmt"
+
+	"portals3/internal/core"
+	"portals3/internal/sim"
+	"portals3/internal/wire"
+)
+
+// exampleNet is a tiny synchronous NAL used by the documentation examples.
+type exampleNet struct {
+	s    *sim.Sim
+	libs map[core.ProcessID]*core.Lib
+}
+
+type exampleBackend struct {
+	net *exampleNet
+	lib *core.Lib
+}
+
+func (b *exampleBackend) Distance(uint32) int { return 1 }
+
+func (b *exampleBackend) Send(req *core.SendReq) {
+	dst := b.net.libs[core.ProcessID{Nid: req.Hdr.DstNid, Pid: req.Hdr.DstPid}]
+	switch req.Hdr.Type {
+	case wire.TypePut:
+		op := dst.ReceivePut(&req.Hdr)
+		if !op.Drop {
+			buf := make([]byte, op.MLen)
+			req.Region.ReadAt(req.Off, buf)
+			op.Region.WriteAt(op.Off, buf)
+			if ack := dst.Delivered(op, true); ack != nil {
+				b.Send(ack)
+			}
+		}
+		b.lib.SendDone(req, true)
+	case wire.TypeGet:
+		op := dst.ReceiveGet(&req.Hdr)
+		if !op.Drop {
+			reply := op.Reply
+			init := b.net.libs[core.ProcessID{Nid: reply.Hdr.DstNid, Pid: reply.Hdr.DstPid}]
+			rop := init.ReceiveReply(&reply.Hdr)
+			if !rop.Drop {
+				buf := make([]byte, rop.MLen)
+				reply.Region.ReadAt(reply.Off, buf)
+				rop.Region.WriteAt(rop.Off, buf)
+				init.Delivered(rop, true)
+			}
+			dst.ReplySent(op)
+		}
+	case wire.TypeAck:
+		dst.ReceiveAck(&req.Hdr)
+	}
+}
+
+func newExampleNet() (*exampleNet, func(nid, pid uint32) *core.Lib) {
+	net := &exampleNet{s: sim.New(), libs: map[core.ProcessID]*core.Lib{}}
+	return net, func(nid, pid uint32) *core.Lib {
+		be := &exampleBackend{net: net}
+		l := core.NewLib(net.s, core.ProcessID{Nid: nid, Pid: pid}, pid, core.Limits{}, be)
+		be.lib = l
+		net.libs[l.ID()] = l
+		return l
+	}
+}
+
+// Example_put shows the canonical receive-side setup (event queue, match
+// entry, memory descriptor) and a one-sided put into it.
+func Example_put() {
+	_, newLib := newExampleNet()
+	receiver := newLib(1, 1)
+	sender := newLib(0, 1)
+
+	// Receiver: EQ + ME on portal 4 matching bits 0xC0FFEE + MD.
+	eq, _ := receiver.EQAlloc(8)
+	me, _ := receiver.MEAttach(4, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny},
+		0xC0FFEE, 0, core.Retain, core.After)
+	inbox := make(core.SliceRegion, 64)
+	receiver.MDAttach(me, core.MDesc{
+		Region:    inbox,
+		Threshold: core.ThresholdInfinite,
+		Options:   core.MDOpPut,
+		EQ:        eq,
+	}, core.Retain)
+
+	// Sender: bind a descriptor over the message and put it.
+	msg := core.SliceRegion("greetings via one-sided put")
+	md, _ := sender.MDBind(core.MDesc{Region: msg, Threshold: core.ThresholdInfinite})
+	sender.Put(md, core.NoAck, receiver.ID(), 4, 0xC0FFEE, 0, 0)
+
+	for {
+		ev, err := receiver.EQGet(eq)
+		if err != nil {
+			break
+		}
+		fmt.Printf("%v from %v, %d bytes\n", ev.Type, ev.Initiator, ev.MLength)
+	}
+	fmt.Printf("inbox: %s\n", inbox[:27])
+	// Output:
+	// PUT_START from 0:1, 27 bytes
+	// PUT_END from 0:1, 27 bytes
+	// inbox: greetings via one-sided put
+}
+
+// Example_get shows the pull side: the target exposes memory with MDOpGet
+// and the initiator fetches it.
+func Example_get() {
+	_, newLib := newExampleNet()
+	owner := newLib(1, 1)
+	reader := newLib(0, 1)
+
+	exposed := core.SliceRegion("data owned by node 1")
+	me, _ := owner.MEAttach(2, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny},
+		0xDA7A, 0, core.Retain, core.After)
+	owner.MDAttach(me, core.MDesc{
+		Region:    exposed,
+		Threshold: core.ThresholdInfinite,
+		Options:   core.MDOpGet | core.MDManageRemote,
+	}, core.Retain)
+
+	dst := make(core.SliceRegion, exposed.Len())
+	eq, _ := reader.EQAlloc(8)
+	md, _ := reader.MDBind(core.MDesc{Region: dst, Threshold: core.ThresholdInfinite, EQ: eq})
+	reader.Get(md, owner.ID(), 2, 0xDA7A, 0)
+
+	ev, _ := reader.EQGet(eq)
+	fmt.Printf("%v: %s\n", ev.Type, dst)
+	// Output:
+	// REPLY_START: data owned by node 1
+}
+
+// Example_matching demonstrates match bits with an ignore mask: one entry
+// serves a whole tag range.
+func Example_matching() {
+	_, newLib := newExampleNet()
+	rx := newLib(1, 1)
+	tx := newLib(0, 1)
+
+	// Accept any message whose high 32 bits equal 0xAB; ignore the low 32.
+	me, _ := rx.MEAttach(0, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny},
+		0xAB<<32, 0xFFFFFFFF, core.Retain, core.After)
+	inbox := make(core.SliceRegion, 64)
+	eq, _ := rx.EQAlloc(8)
+	rx.MDAttach(me, core.MDesc{Region: inbox, Threshold: core.ThresholdInfinite,
+		Options: core.MDOpPut | core.MDEventStartDisable, EQ: eq}, core.Retain)
+
+	for _, tag := range []uint64{7, 99, 12345} {
+		md, _ := tx.MDBind(core.MDesc{Region: core.SliceRegion{byte(tag)}, Threshold: core.ThresholdInfinite})
+		tx.Put(md, core.NoAck, rx.ID(), 0, 0xAB<<32|tag, 0, 0)
+	}
+	// A different high word does not match and is dropped.
+	md, _ := tx.MDBind(core.MDesc{Region: core.SliceRegion{0}, Threshold: core.ThresholdInfinite})
+	tx.Put(md, core.NoAck, rx.ID(), 0, 0xAC<<32, 0, 0)
+
+	n := 0
+	for {
+		ev, err := rx.EQGet(eq)
+		if err != nil {
+			break
+		}
+		fmt.Printf("matched tag %d\n", ev.MatchBits&0xFFFFFFFF)
+		n++
+	}
+	fmt.Printf("delivered %d, dropped %d\n", n, rx.Status(core.SRDropCount))
+	// Output:
+	// matched tag 7
+	// matched tag 99
+	// matched tag 12345
+	// delivered 3, dropped 1
+}

@@ -1,0 +1,180 @@
+package core
+
+import "fmt"
+
+// ProcessID identifies a Portals process: a node id and a process id, the
+// ptl_process_id_t of the specification.
+type ProcessID struct {
+	Nid uint32
+	Pid uint32
+}
+
+// Wildcards for match entry source matching.
+const (
+	NidAny uint32 = 0xFFFFFFFF
+	PidAny uint32 = 0xFFFFFFFF
+)
+
+func (p ProcessID) String() string { return fmt.Sprintf("%d:%d", p.Nid, p.Pid) }
+
+// Matches reports whether the concrete sender id satisfies p, honoring
+// NidAny/PidAny wildcards in p.
+func (p ProcessID) Matches(sender ProcessID) bool {
+	return (p.Nid == NidAny || p.Nid == sender.Nid) &&
+		(p.Pid == PidAny || p.Pid == sender.Pid)
+}
+
+// UIDAny is the access-control wildcard user id.
+const UIDAny uint32 = 0xFFFFFFFF
+
+// MDOptions is the memory descriptor option bitmask (ptl_md_t options).
+type MDOptions uint32
+
+// Memory descriptor options, mirroring PTL_MD_*.
+const (
+	// MDOpPut permits incoming put operations on this descriptor.
+	MDOpPut MDOptions = 1 << iota
+	// MDOpGet permits incoming get operations on this descriptor.
+	MDOpGet
+	// MDManageRemote: the initiator supplies the offset (remote managed);
+	// otherwise the library manages a local offset that advances with each
+	// operation.
+	MDManageRemote
+	// MDTruncate permits incoming operations longer than the remaining
+	// space to be truncated rather than dropped.
+	MDTruncate
+	// MDAckDisable suppresses acknowledgments for puts that request one.
+	MDAckDisable
+	// MDEventStartDisable suppresses *_START events.
+	MDEventStartDisable
+	// MDEventEndDisable suppresses *_END events.
+	MDEventEndDisable
+	// MDMaxSize enables the max_size unlink rule: the descriptor is
+	// unlinked when remaining space falls below MaxSize.
+	MDMaxSize
+)
+
+// ThresholdInfinite disables threshold counting on a memory descriptor.
+const ThresholdInfinite = -1
+
+// Unlink selects automatic unlink behavior (ptl_unlink_t).
+type Unlink int
+
+// Unlink policies.
+const (
+	// Retain keeps the object linked when exhausted (PTL_RETAIN).
+	Retain Unlink = iota
+	// UnlinkAuto removes the object once exhausted (PTL_UNLINK).
+	UnlinkAuto
+)
+
+// Position selects where MEInsert places a new entry (ptl_ins_pos_t).
+type Position int
+
+// Insert positions.
+const (
+	Before Position = iota // PTL_INS_BEFORE
+	After                  // PTL_INS_AFTER
+)
+
+// AckReq selects whether a put requests an acknowledgment (ptl_ack_req_t).
+type AckReq int
+
+// Acknowledgment requests.
+const (
+	NoAck AckReq = iota // PTL_NOACK_REQ
+	Ack                 // PTL_ACK_REQ
+)
+
+// StatusRegister selects an NI status counter (ptl_sr_index_t).
+type StatusRegister int
+
+// Status registers readable through NIStatus.
+const (
+	SRDropCount StatusRegister = iota
+	SRRecvCount
+	SRSendCount
+	SRRecvLength
+	SRSendLength
+	SRCrcErrors
+	srCount
+)
+
+// Limits bounds per-interface resource pools (ptl_ni_limits_t). Zero fields
+// take DefaultLimits values.
+type Limits struct {
+	MaxMEs       int
+	MaxMDs       int
+	MaxEQs       int
+	MaxPtIndices int
+	MaxACEntries int
+	MaxMEList    int // maximum entries on one portal index's match list
+}
+
+// DefaultLimits mirrors a comfortably sized Portals 3.3 configuration.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxMEs:       4096,
+		MaxMDs:       4096,
+		MaxEQs:       64,
+		MaxPtIndices: 64,
+		MaxACEntries: 16,
+		MaxMEList:    4096,
+	}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxMEs <= 0 {
+		l.MaxMEs = d.MaxMEs
+	}
+	if l.MaxMDs <= 0 {
+		l.MaxMDs = d.MaxMDs
+	}
+	if l.MaxEQs <= 0 {
+		l.MaxEQs = d.MaxEQs
+	}
+	if l.MaxPtIndices <= 0 {
+		l.MaxPtIndices = d.MaxPtIndices
+	}
+	if l.MaxACEntries <= 0 {
+		l.MaxACEntries = d.MaxACEntries
+	}
+	if l.MaxMEList <= 0 {
+		l.MaxMEList = d.MaxMEList
+	}
+	return l
+}
+
+// Region is the memory a descriptor exposes to the network. The host OS
+// models provide the real implementations: Catamount memory is one
+// physically contiguous segment, Linux memory is 4 KB pages that the kernel
+// must pin and describe to the DMA engines page by page (paper §3.3).
+type Region interface {
+	// Len returns the region length in bytes.
+	Len() int
+	// ReadAt copies region bytes [off, off+len(p)) into p.
+	ReadAt(off int, p []byte)
+	// WriteAt copies p into region bytes [off, off+len(p)).
+	WriteAt(off int, p []byte)
+	// Segments returns how many physically contiguous pieces the region
+	// spans — 1 on Catamount, the page count on Linux. The host must
+	// pre-compute one DMA command per segment (paper §3.3).
+	Segments() int
+}
+
+// SliceRegion is a trivially contiguous Region backed by a Go slice, used
+// by tests and by kernel-space buffers.
+type SliceRegion []byte
+
+// Len returns the slice length.
+func (r SliceRegion) Len() int { return len(r) }
+
+// ReadAt copies out of the slice; out-of-range access panics (model bug).
+func (r SliceRegion) ReadAt(off int, p []byte) { copy(p, r[off:off+len(p)]) }
+
+// WriteAt copies into the slice; out-of-range access panics (model bug).
+func (r SliceRegion) WriteAt(off int, p []byte) { copy(r[off:off+len(p)], p) }
+
+// Segments reports one contiguous segment.
+func (r SliceRegion) Segments() int { return 1 }

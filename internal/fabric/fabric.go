@@ -1,0 +1,329 @@
+// Package fabric simulates the XT3's 3D interconnect: the directed links
+// between SeaStar routers, dimension-ordered fixed-path routing (in-order
+// delivery), 64-byte packetization, per-link CRC-16 retries and the
+// receiver-side buffering window that backpressures senders.
+//
+// The unit of simulated data movement is the chunk — a contiguous span of a
+// message's payload (model.Params.ChunkBytes). Chunks carry real bytes.
+// A message is one header packet (wire.PacketBytes, containing the encoded
+// wire.Header plus up to 12 inline payload bytes) followed by its payload
+// chunks, all following the same fixed path, so delivery order matches
+// injection order exactly as on the real machine.
+package fabric
+
+import (
+	"fmt"
+
+	"portals3/internal/model"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+	"portals3/internal/trace"
+	"portals3/internal/wire"
+)
+
+// Endpoint is a NIC attached to the fabric. The fabric calls these methods
+// at delivery time, in order; the endpoint owns the receive window whose
+// credits pace senders (the RX FIFO of paper §4.3).
+type Endpoint interface {
+	// HeaderArrived delivers the message's header packet.
+	HeaderArrived(m *Message)
+	// ChunkArrived delivers payload bytes [c.Off, c.Off+len(c.Data)).
+	ChunkArrived(c *Chunk)
+	// RxWindow returns the credit pool (in bytes) that bounds data buffered
+	// at this endpoint ahead of the RX DMA engine.
+	RxWindow() *sim.Credits
+}
+
+// Message is one Portals wire message in flight.
+type Message struct {
+	ID     uint64
+	Hdr    wire.Header
+	Src    topo.NodeID
+	Dst    topo.NodeID
+	Inline []byte // ≤ wire.InlineMax bytes riding in the header packet
+	CRC    uint32 // end-to-end CRC-32 computed by the sender over header+payload
+
+	// PayloadLen is the number of payload bytes that follow in chunks
+	// (excludes inline bytes).
+	PayloadLen int
+
+	// FwSeq is the NIC-level go-back-n sequence number (firmware framing,
+	// outside the Portals header; zero when the protocol is disabled).
+	FwSeq uint32
+
+	// OnInjected, when set, is called once the header packet has been
+	// granted receiver credits and enters the wire — the moment the TX
+	// state machine considers the packet "sent".
+	OnInjected func()
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d[%v]", m.ID, &m.Hdr)
+}
+
+// Chunk is a span of message payload traversing the network.
+type Chunk struct {
+	Msg  *Message
+	Off  int    // offset within the message payload
+	Data []byte // the bytes themselves
+	Last bool   // true for the final chunk of the message
+
+	// Corrupt marks end-to-end corruption that slipped past the link CRCs
+	// (injected by tests via Fabric.CorruptNext); the receiver's CRC-32
+	// check catches it.
+	Corrupt bool
+
+	// OnInjected, when set, is called once the chunk has been granted
+	// receiver credits and enters the wire; the TX state machine uses it
+	// to recycle transmit FIFO space.
+	OnInjected func()
+}
+
+// Stats aggregates fabric-wide counters.
+type Stats struct {
+	Messages    uint64 // messages injected
+	Chunks      uint64 // payload chunks injected
+	LinkRetries uint64 // link-level CRC-16 retransmissions
+	Delivered   uint64 // messages whose final byte arrived
+}
+
+type linkKey struct {
+	node topo.NodeID
+	dir  topo.Dir
+}
+
+// Fabric wires the endpoints together.
+type Fabric struct {
+	S    *sim.Sim
+	Topo *topo.Topology
+	P    *model.Params
+
+	// Trace, when non-nil, records wire-level message events.
+	Trace *trace.Tracer
+
+	links  map[linkKey]*sim.Server
+	eps    map[topo.NodeID]Endpoint
+	nextID uint64
+
+	// corruptNext counts messages whose payload should be corrupted
+	// end-to-end (test fault injection).
+	corruptNext int
+
+	Stats Stats
+}
+
+// New returns a fabric over the given topology.
+func New(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
+	return &Fabric{
+		S:     s,
+		Topo:  t,
+		P:     p,
+		links: make(map[linkKey]*sim.Server),
+		eps:   make(map[topo.NodeID]Endpoint),
+	}
+}
+
+// Attach registers the endpoint for node. Attaching twice panics: it is a
+// machine-assembly bug.
+func (f *Fabric) Attach(node topo.NodeID, ep Endpoint) {
+	if !f.Topo.Valid(node) {
+		panic(fmt.Sprintf("fabric: attach to invalid node %d", node))
+	}
+	if _, dup := f.eps[node]; dup {
+		panic(fmt.Sprintf("fabric: node %d attached twice", node))
+	}
+	f.eps[node] = ep
+}
+
+// Endpoint returns the endpoint attached to node, or nil.
+func (f *Fabric) Endpoint(node topo.NodeID) Endpoint { return f.eps[node] }
+
+// link returns (creating on first use) the serial resource for the directed
+// link leaving node in direction d.
+func (f *Fabric) link(node topo.NodeID, d topo.Dir) *sim.Server {
+	k := linkKey{node, d}
+	if sv, ok := f.links[k]; ok {
+		return sv
+	}
+	sv := sim.NewServer(f.S, fmt.Sprintf("link[%d %v]", node, d))
+	f.links[k] = sv
+	return sv
+}
+
+// CorruptNext arranges for the next n injected payload-bearing messages to
+// have one payload byte flipped in a way that evades the link-level CRC
+// (modeling the rare multi-bit error the end-to-end CRC-32 exists to catch).
+func (f *Fabric) CorruptNext(n int) { f.corruptNext += n }
+
+// NewMessage allocates a message with a fresh ID and the end-to-end CRC
+// computed over the full payload. The payload slice is only read here (for
+// the CRC); the actual bytes travel in chunks read from host memory at DMA
+// time by the sending NIC.
+func (f *Fabric) NewMessage(hdr wire.Header, src, dst topo.NodeID, payload []byte) *Message {
+	f.nextID++
+	m := &Message{
+		ID:  f.nextID,
+		Hdr: hdr,
+		Src: src,
+		Dst: dst,
+		CRC: wire.CRC32(&hdr, payload),
+	}
+	n := len(payload)
+	inline := 0
+	if n <= f.P.InlineDataMax && hdr.Type != wire.TypeGet && hdr.Type != wire.TypeAck {
+		inline = n
+		m.Inline = append([]byte(nil), payload[:inline]...)
+		m.Hdr.InlineLen = uint8(inline)
+		m.CRC = wire.CRC32(&m.Hdr, payload) // InlineLen is part of the header
+	}
+	m.PayloadLen = n - inline
+	return m
+}
+
+// NewStream allocates a message whose payload will be produced
+// incrementally by a TX DMA engine: no CRC is computed here (the sender
+// accumulates it while reading chunks and stores it with SetCRC before the
+// final chunk is injected) and inlining is the sender's explicit decision
+// via SetInline.
+func (f *Fabric) NewStream(hdr wire.Header, src, dst topo.NodeID, payloadLen int) *Message {
+	f.nextID++
+	return &Message{ID: f.nextID, Hdr: hdr, Src: src, Dst: dst, PayloadLen: payloadLen}
+}
+
+// SetInline moves the (small) payload into the header packet: "these 12
+// bytes can be copied to the host along with the header" (paper §6).
+// It panics beyond wire.InlineMax — callers must honor the hardware limit.
+func (m *Message) SetInline(data []byte) {
+	if len(data) > wire.InlineMax {
+		panic("fabric: inline payload exceeds header packet space")
+	}
+	m.Inline = append([]byte(nil), data...)
+	m.Hdr.InlineLen = uint8(len(data))
+	m.PayloadLen = 0
+}
+
+// SetCRC stores the sender-computed end-to-end CRC. It must be called
+// before the final chunk (or, for chunkless messages, the header) is
+// injected so the receiver's check reads the final value.
+func (m *Message) SetCRC(crc uint32) { m.CRC = crc }
+
+// transmissions samples how many times a packet group of nbytes must cross
+// one link before the 16-bit CRC passes. With a zero bit-error rate this is
+// always 1 and consumes no randomness (keeping fault-free runs identical
+// regardless of RNG state).
+func (f *Fabric) transmissions(nbytes int) int {
+	ber := f.P.LinkBitErrorRate
+	if ber <= 0 {
+		return 1
+	}
+	packets := (nbytes + f.P.PacketBytes - 1) / f.P.PacketBytes
+	pOK := 1.0
+	for i := 0; i < packets; i++ {
+		pOK *= 1 - ber
+	}
+	n := 1
+	for f.S.Rand().Float64() > pOK {
+		n++
+		f.Stats.LinkRetries++
+		if n > 64 {
+			break // a link this sick would be routed around by RAS; cap it
+		}
+	}
+	return n
+}
+
+// traverse reserves the fixed path from src to dst for nbytes and schedules
+// deliver at the arrival time. Reservation happens at injection time; since
+// every server is FIFO and every message between a pair takes the same
+// path, per-flow ordering is exact (cross-flow interleaving is approximated
+// at chunk granularity).
+func (f *Fabric) traverse(src, dst topo.NodeID, nbytes int, deliver func()) {
+	t := f.S.Now() + f.P.InjectLatency
+	cur := src
+	for _, d := range f.Topo.Route(src, dst) {
+		k := f.transmissions(nbytes)
+		dur := sim.BytesAt(int64(nbytes), f.P.LinkBps)
+		occupancy := sim.Time(k)*dur + sim.Time(k-1)*f.P.LinkRetryDelay
+		t = f.link(cur, d).SubmitAfter(t, occupancy, nil) + f.P.HopLatency
+		next, ok := f.Topo.Neighbor(cur, d)
+		if !ok {
+			panic("fabric: route fell off the mesh")
+		}
+		cur = next
+	}
+	if cur != dst {
+		panic("fabric: route did not reach destination")
+	}
+	// Loopback (src == dst) still pays injection+ejection through the NIC.
+	f.S.At(t+f.P.InjectLatency, deliver)
+}
+
+// SendHeader injects the message's header packet. It consumes header-packet
+// credits from the receiver window (returned by the receiving NIC once the
+// header has been pushed to the host) and delivers via HeaderArrived.
+func (f *Fabric) SendHeader(m *Message) {
+	ep := f.eps[m.Dst]
+	if ep == nil {
+		panic(fmt.Sprintf("fabric: no endpoint at node %d", m.Dst))
+	}
+	f.Stats.Messages++
+	ep.RxWindow().Take(int64(f.P.PacketBytes), func() {
+		if m.OnInjected != nil {
+			m.OnInjected()
+		}
+		f.Trace.Instant(int(m.Src), trace.TrackWire, "net", "tx "+m.Hdr.Type.String(), f.S.Now(),
+			map[string]interface{}{"msg": m.ID, "dst": m.Dst, "len": m.PayloadLen + len(m.Inline)})
+		f.traverse(m.Src, m.Dst, f.P.PacketBytes, func() {
+			f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx hdr "+m.Hdr.Type.String(), f.S.Now(),
+				map[string]interface{}{"msg": m.ID, "src": m.Src})
+			ep.HeaderArrived(m)
+			if m.PayloadLen == 0 {
+				f.Stats.Delivered++
+			}
+		})
+	})
+}
+
+// SendChunk injects payload bytes. The caller (the TX DMA model) must send
+// chunks of a message in order, after its header. Credits for the chunk are
+// taken before the wire is used — the receiver's bounded FIFO backpressures
+// the sender exactly as link-level flow control does on the real machine.
+func (f *Fabric) SendChunk(c *Chunk) {
+	m := c.Msg
+	ep := f.eps[m.Dst]
+	if ep == nil {
+		panic(fmt.Sprintf("fabric: no endpoint at node %d", m.Dst))
+	}
+	if f.corruptNext > 0 && c.Last {
+		// Flip a bit in the last chunk; recompute nothing — the end-to-end
+		// CRC carried in the message no longer matches.
+		f.corruptNext--
+		c.Corrupt = true
+		if len(c.Data) > 0 {
+			c.Data[len(c.Data)/2] ^= 0x40
+		}
+	}
+	f.Stats.Chunks++
+	ep.RxWindow().Take(int64(len(c.Data)), func() {
+		if c.OnInjected != nil {
+			c.OnInjected()
+		}
+		f.traverse(m.Src, m.Dst, len(c.Data), func() {
+			ep.ChunkArrived(c)
+			if c.Last {
+				f.Stats.Delivered++
+				f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx last chunk", f.S.Now(),
+					map[string]interface{}{"msg": m.ID, "src": m.Src})
+			}
+		})
+	})
+}
+
+// LinkUtilization reports the utilization of the directed link leaving node
+// in direction d (zero if the link was never used).
+func (f *Fabric) LinkUtilization(node topo.NodeID, d topo.Dir) float64 {
+	if sv, ok := f.links[linkKey{node, d}]; ok {
+		return sv.Utilization()
+	}
+	return 0
+}

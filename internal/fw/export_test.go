@@ -1,0 +1,12 @@
+package fw
+
+// Test hooks for white-box assertions.
+
+// SegsInRange exposes the DMA segment computation.
+func (n *NIC) SegsInRange(buf Buffer, off, nbytes int) int { return n.segsInRange(buf, off, nbytes) }
+
+// TxQueueLen exposes the TX pending list depth.
+func (n *NIC) TxQueueLen() int { return len(n.txq) }
+
+// SourceCount exposes the active source table size.
+func (n *NIC) SourceCount() int { return len(n.sources) }

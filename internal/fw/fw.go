@@ -1,0 +1,419 @@
+// Package fw implements the SeaStar firmware of paper §4: the data
+// structures (control block, mailboxes with command FIFOs, upper/lower
+// pending pairs, source structures in a hash table, pre-sized free lists)
+// and the processing (single-threaded run-to-completion handlers on the
+// PowerPC, a serialized TX state machine, per-source receive streams, the
+// ≤12-byte payload-in-header small message optimization, event posting and
+// host interrupt coalescing).
+//
+// Exactly as on the real machine, the firmware knows nothing about Portals
+// semantics in generic mode — it moves headers to the host and data where
+// the host says — while accelerated-mode clients get their headers handled
+// on the NIC itself (§3.3). Resource exhaustion follows the paper: the
+// default policy panics the node ("The current approach is to panic the
+// node, which results in application failure", §4.3); the go-back-n
+// recovery the authors describe as in-progress work is implemented in
+// gobackn.go and enabled per machine.
+package fw
+
+import (
+	"fmt"
+
+	"portals3/internal/fabric"
+	"portals3/internal/model"
+	"portals3/internal/seastar"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+	"portals3/internal/trace"
+	"portals3/internal/wire"
+)
+
+// Buffer is host memory the DMA engines move data to and from.
+// core.Region satisfies it; fw deliberately does not import core.
+type Buffer interface {
+	Len() int
+	ReadAt(off int, p []byte)
+	WriteAt(off int, p []byte)
+	Segments() int
+}
+
+// fwEventBytes is the size of one firmware-to-host event record. Events are
+// "small enough that they can be posted atomically by the firmware" (§4.1).
+const fwEventBytes = 32
+
+// cmdBytes is the size of one mailbox command record.
+const cmdBytes = 64
+
+// mailboxSlots is the command FIFO depth; the host stalls when it is full
+// ("the host busy-waits until the firmware posts the result", §4.1 — for
+// us, until a slot frees).
+const mailboxSlots = 128
+
+// EventKind distinguishes firmware-to-host notifications.
+type EventKind int
+
+// Firmware event kinds (§4.1 gives "message transmit complete" and
+// "message reception complete" as the examples; NewHeader is the generic
+// mode "new message arrived, come do the Portals processing" event).
+const (
+	EvNewHeader EventKind = iota
+	EvTxDone
+	EvRxDone
+)
+
+func (k EventKind) String() string {
+	return [...]string{"NEW_HEADER", "TX_DONE", "RX_DONE"}[k]
+}
+
+// Event is one firmware notification delivered to a process's driver.
+type Event struct {
+	Kind    EventKind
+	Pending *Pending // NewHeader, RxDone
+	Tx      *TxReq   // TxDone
+	OK      bool     // data integrity: end-to-end CRC verdict
+}
+
+// Process is one firmware-level process (§4.2): the generic Portals
+// implementation in the OS kernel, or one accelerated application. Each has
+// its own mailbox and pending pools.
+type Process struct {
+	nic *NIC
+	// ID is the host process id; the generic process serves every pid that
+	// has no accelerated mailbox.
+	ID uint32
+	// Accel marks an accelerated-mode client: headers are handled on the
+	// NIC and no interrupts are raised.
+	Accel bool
+	// Handle receives events. For a generic process it runs host-side,
+	// after the event's HT write completes (the driver layers interrupt
+	// semantics on top). For an accelerated process it runs in firmware
+	// context, with NIC-side costs charged by the driver itself.
+	Handle func(ev Event)
+
+	rxFree   []*Pending
+	txFree   []*Pending
+	rxTotal  int
+	txTotal  int
+	cmdSlots *sim.Credits
+}
+
+// RxPendingsFree reports free receive pendings (diagnostics, exhaustion
+// tests).
+func (p *Process) RxPendingsFree() int { return len(p.rxFree) }
+
+// TxPendingsFree reports free transmit pendings.
+func (p *Process) TxPendingsFree() int { return len(p.txFree) }
+
+// Pending is one upper/lower pending pair (§4.2). The lower half lives in
+// SeaStar SRAM and drives the data movement; the upper half lives in host
+// memory and carries what the host needs (the Portals header, the inline
+// payload, completion info). The firmware writes the upper half over HT and
+// never reads it back.
+type Pending struct {
+	proc *Process
+	tx   bool
+
+	// Upper pending contents (host visible after the HT write).
+	Hdr    wire.Header
+	Inline []byte
+
+	// Lower pending receive state.
+	msg        *fabric.Message
+	queued     []*fabric.Chunk
+	arrived    int // payload bytes arrived into the RX FIFO
+	consumed   int // payload bytes deposited or discarded
+	crc        uint32
+	programmed bool
+	discardAll bool
+	buf        Buffer
+	bufOff     int
+	mlen       int
+	done       func(ok bool)
+	released   bool
+
+	// Lower pending transmit state.
+	req *TxReq
+}
+
+// TxReq is one transmit command from the host (§4.3): the pending id, the
+// destination, the payload location in main memory, and the length.
+type TxReq struct {
+	Pid uint32
+	Hdr wire.Header
+	Buf Buffer
+	Off int
+	Len int
+	// Done runs host-side when the TX_DONE event is delivered; ok reports
+	// transmit success.
+	Done func(ok bool)
+
+	pending  *Pending
+	ctrl     bool // NIC-level flow control frame, no pending, no host data
+	seq      uint32
+	crc      uint32
+	msg      *fabric.Message
+	finished bool
+}
+
+// source is the per-peer structure (§4.2): one per node this firmware is
+// sending to or receiving from, allocated from a single global pool and
+// kept in a hash table.
+type source struct {
+	nid topo.NodeID
+	// Go-back-n state, used only under ExhaustGoBackN: rxSeq is the last
+	// in-order sequence successfully received from this peer, txSeq the
+	// last sequence assigned toward it, unacked the fully transmitted but
+	// not yet acknowledged sends, oldest first.
+	rxSeq      uint32
+	txSeq      uint32
+	unacked    []*TxReq
+	timerArmed bool
+	lastAck    sim.Time
+}
+
+// Stats counts firmware activity for tests and reports.
+type Stats struct {
+	HeadersRx    uint64
+	MsgsTx       uint64
+	EventsPosted uint64
+	InlineRx     uint64 // messages fully delivered via the header packet
+	Exhaustions  uint64
+	CrcFails     uint64
+	NacksSent    uint64
+	NacksRcvd    uint64
+	Retransmits  uint64
+	Discards     uint64
+}
+
+// ExhaustPolicy selects the firmware's response to resource exhaustion.
+type ExhaustPolicy int
+
+// Exhaustion policies (§4.3).
+const (
+	// ExhaustPanic is the paper's current approach: "panic the node, which
+	// results in application failure".
+	ExhaustPanic ExhaustPolicy = iota
+	// ExhaustGoBackN enables the in-progress go-back-n recovery protocol.
+	ExhaustGoBackN
+)
+
+// NIC is the firmware instance for one SeaStar.
+type NIC struct {
+	S    *sim.Sim
+	P    *model.Params
+	Chip *seastar.Chip
+	Fab  *fabric.Fabric
+	Node topo.NodeID
+
+	// Policy selects exhaustion handling.
+	Policy ExhaustPolicy
+	// Trace, when non-nil, records firmware handler spans.
+	Trace *trace.Tracer
+	// OnPanic is invoked for ExhaustPanic; the default panics the Go
+	// process, the machine layer substitutes a node-failure handler.
+	OnPanic func(reason string)
+
+	generic *Process
+	accel   map[uint32]*Process
+
+	sources    map[topo.NodeID]*source
+	sourceFree int
+
+	txq    []*TxReq
+	txBusy bool
+
+	// early holds chunks that arrive before the header handler has
+	// allocated a pending (hardware demultiplexes; the PowerPC is still
+	// busy), and streams condemned to discard.
+	streams map[uint64]*Pending
+	dead    map[uint64]int // msgID -> payload bytes still expected, discard
+
+	killed bool
+
+	// Heartbeat is the control block RAS heartbeat counter (§4.2);
+	// incremented with every handler dispatch.
+	Heartbeat uint64
+
+	Stats Stats
+}
+
+// New creates the firmware for one chip and charges its static structures
+// to SRAM: the global source pool and (as processes register) the pending
+// pools. The error is a configuration error — the pools must fit in 384 KB.
+func New(s *sim.Sim, p *model.Params, chip *seastar.Chip, fab *fabric.Fabric, node topo.NodeID) (*NIC, error) {
+	n := &NIC{
+		S:          s,
+		P:          p,
+		Chip:       chip,
+		Fab:        fab,
+		Node:       node,
+		accel:      make(map[uint32]*Process),
+		sources:    make(map[topo.NodeID]*source),
+		sourceFree: p.NumSources,
+		streams:    make(map[uint64]*Pending),
+		dead:       make(map[uint64]int),
+	}
+	n.OnPanic = func(reason string) {
+		panic(fmt.Sprintf("fw[node %d]: %s", node, reason))
+	}
+	if err := chip.SRAM.Alloc("sources", int64(p.NumSources)*p.SourceBytes); err != nil {
+		return nil, err
+	}
+	if err := chip.SRAM.Alloc("nic-control-block", 256); err != nil {
+		return nil, err
+	}
+	fab.Attach(node, n)
+	return n, nil
+}
+
+// RegisterGeneric installs the generic firmware-level process — the OS
+// kernel's Portals implementation, which serves every host pid without an
+// accelerated mailbox. pendings is the pool size (the paper's 1,274),
+// split evenly between the host-managed TX pool and the firmware-managed
+// RX pool (§4.2).
+func (n *NIC) RegisterGeneric(pendings int, handle func(Event)) (*Process, error) {
+	if n.generic != nil {
+		return nil, fmt.Errorf("fw: generic process already registered")
+	}
+	p, err := n.newProcess(0, false, pendings, handle)
+	if err != nil {
+		return nil, err
+	}
+	n.generic = p
+	return p, nil
+}
+
+// RegisterAccel installs an accelerated process for host pid. The number of
+// accelerated clients is limited (§4.1): registration fails beyond
+// Params.MaxAccelProcs.
+func (n *NIC) RegisterAccel(pid uint32, pendings int, handle func(Event)) (*Process, error) {
+	if len(n.accel) >= n.P.MaxAccelProcs {
+		return nil, fmt.Errorf("fw: accelerated mailbox limit (%d) reached", n.P.MaxAccelProcs)
+	}
+	if _, dup := n.accel[pid]; dup {
+		return nil, fmt.Errorf("fw: pid %d already accelerated", pid)
+	}
+	p, err := n.newProcess(pid, true, pendings, handle)
+	if err != nil {
+		return nil, err
+	}
+	n.accel[pid] = p
+	return p, nil
+}
+
+func (n *NIC) newProcess(pid uint32, accel bool, pendings int, handle func(Event)) (*Process, error) {
+	name := fmt.Sprintf("pendings[pid %d]", pid)
+	if !accel {
+		name = "pendings[generic]"
+	}
+	if err := n.Chip.SRAM.Alloc(name, int64(pendings)*n.P.PendingBytes); err != nil {
+		return nil, err
+	}
+	if err := n.Chip.SRAM.Alloc(name+".proc+mailbox", 512); err != nil {
+		return nil, err
+	}
+	p := &Process{
+		nic:      n,
+		ID:       pid,
+		Accel:    accel,
+		Handle:   handle,
+		rxTotal:  pendings / 2,
+		txTotal:  pendings - pendings/2,
+		cmdSlots: sim.NewCredits(n.S, name+".cmdfifo", mailboxSlots),
+	}
+	for i := 0; i < p.rxTotal; i++ {
+		p.rxFree = append(p.rxFree, &Pending{proc: p})
+	}
+	for i := 0; i < p.txTotal; i++ {
+		p.txFree = append(p.txFree, &Pending{proc: p, tx: true})
+	}
+	return p, nil
+}
+
+// procForPid resolves the firmware-level process targeted by a host pid:
+// an accelerated mailbox if one exists, the generic process otherwise.
+func (n *NIC) procForPid(pid uint32) *Process {
+	if p, ok := n.accel[pid]; ok {
+		return p
+	}
+	return n.generic
+}
+
+// Generic returns the generic process (nil before RegisterGeneric).
+func (n *NIC) Generic() *Process { return n.generic }
+
+// exec runs fn as one firmware handler, charging cycles on the PowerPC and
+// ticking the RAS heartbeat. name labels the handler in traces.
+func (n *NIC) exec(name string, cycles int64, fn func()) {
+	dur := n.P.PPCCycles(n.P.FwDispatchCycles + cycles)
+	n.Chip.Exec(cycles, func() {
+		n.Heartbeat++
+		n.Trace.Span(int(n.Node), trace.TrackPPC, "fw", name, n.S.Now()-dur, dur, nil)
+		fn()
+	})
+}
+
+// allocSource finds or allocates the source structure for a peer; nil means
+// the global pool is exhausted.
+func (n *NIC) allocSource(nid topo.NodeID) *source {
+	if s, ok := n.sources[nid]; ok {
+		return s
+	}
+	if n.sourceFree == 0 {
+		return nil
+	}
+	n.sourceFree--
+	s := &source{nid: nid}
+	n.sources[nid] = s
+	return s
+}
+
+// postEvent writes an event record to the process's host event queue and
+// delivers it. For generic processes the delivery runs after the HT write
+// completes (the driver adds interrupt semantics); accelerated processes
+// also see it after the HT write (their user-level library polls the queue,
+// no interrupt involved).
+func (n *NIC) postEvent(p *Process, ev Event) {
+	n.Stats.EventsPosted++
+	n.Chip.WriteHost(fwEventBytes, func() { p.Handle(ev) })
+}
+
+// exhaust applies the exhaustion policy for an unservable incoming message.
+// It reports whether the message stream was consumed (true for go-back-n,
+// which discards and NACKs; false means the node is gone).
+func (n *NIC) exhaust(m *fabric.Message, what string) bool {
+	n.Stats.Exhaustions++
+	if n.Policy == ExhaustGoBackN {
+		n.nackAndDiscard(m)
+		return true
+	}
+	n.OnPanic("resource exhaustion: " + what)
+	return false
+}
+
+// RxWindow implements fabric.Endpoint: the chip's bounded receive FIFO.
+func (n *NIC) RxWindow() *sim.Credits { return n.Chip.RxFIFO }
+
+// Kill marks the node failed (the §4.3 panic): the firmware stops
+// processing — arriving traffic is blackholed and the RAS heartbeat stops,
+// which is how the rest of the machine finds out.
+func (n *NIC) Kill() { n.killed = true }
+
+// Dead reports whether the node has failed.
+func (n *NIC) Dead() bool { return n.killed }
+
+// StartHeartbeat begins periodic RAS heartbeat ticks — the idle polling
+// loop's counter increments (§4.2). Because the ticker keeps the event heap
+// non-empty, callers drive the simulation with RunUntil; it is started by
+// machine.StartRAS, not by default.
+func (n *NIC) StartHeartbeat(period sim.Time) {
+	var tick func()
+	tick = func() {
+		if n.killed {
+			return
+		}
+		n.Heartbeat++
+		n.S.After(period, tick)
+	}
+	n.S.After(period, tick)
+}

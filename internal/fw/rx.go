@@ -1,0 +1,408 @@
+package fw
+
+import (
+	"hash/crc32"
+
+	"portals3/internal/fabric"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+	"portals3/internal/wire"
+)
+
+// headerCRC starts the receive-side end-to-end check: CRC over the encoded
+// header plus any inline payload. Payload chunks extend it in arrival
+// order, which matches sender order because delivery is in-order.
+func headerCRC(m *fabric.Message) uint32 {
+	var buf [wire.HeaderBytes]byte
+	m.Hdr.Encode(buf[:])
+	c := crc32.ChecksumIEEE(buf[:])
+	return crc32.Update(c, crc32.IEEETable, m.Inline)
+}
+
+// HeaderArrived implements fabric.Endpoint. It runs at hardware time: the
+// RX DMA engine has recognized a new message start (§2); a stub stream is
+// registered immediately so payload chunks demultiplex correctly while the
+// PowerPC works through its handler queue, then the header handler is
+// dispatched.
+func (n *NIC) HeaderArrived(m *fabric.Message) {
+	if n.killed {
+		// A panicked node blackholes arriving traffic: return the FIFO
+		// credits and discard the payload so the rest of the machine is
+		// not wedged by a dead peer's buffers.
+		n.condemn(m)
+		n.Chip.RxFIFO.Put(int64(n.P.PacketBytes))
+		return
+	}
+	if m.PayloadLen > 0 {
+		n.streams[m.ID] = &Pending{msg: m}
+	}
+	n.exec("rx-header", n.P.FwRxHdrCycles, func() { n.handleHeader(m) })
+}
+
+// handleHeader is the firmware's new-message handler (§4.3): source lookup
+// or allocation, pending allocation from the target process's RX free list,
+// header push to the upper pending in host memory, and event delivery.
+func (n *NIC) handleHeader(m *fabric.Message) {
+	n.Stats.HeadersRx++
+	hdrCredits := int64(n.P.PacketBytes)
+
+	// NIC-level flow control frames never touch pendings or the host.
+	if m.Hdr.Type == wire.TypeFcAck || m.Hdr.Type == wire.TypeFcNack {
+		n.handleFlowControl(m)
+		n.Chip.RxFIFO.Put(hdrCredits)
+		return
+	}
+
+	src := n.allocSource(topo.NodeID(m.Hdr.SrcNid))
+	if src == nil {
+		if n.exhaust(m, "source pool empty") {
+			n.Chip.RxFIFO.Put(hdrCredits)
+		}
+		return
+	}
+	if n.Policy == ExhaustGoBackN && !n.gbnAcceptRx(src, m) {
+		// Out-of-sequence under go-back-n: already NACKed, discard.
+		n.Chip.RxFIFO.Put(hdrCredits)
+		return
+	}
+	proc := n.procForPid(m.Hdr.DstPid)
+	if proc == nil {
+		// No process registered for this pid: silently discard, like a
+		// message to a dead pid on the real machine.
+		n.Stats.Discards++
+		n.condemn(m)
+		n.Chip.RxFIFO.Put(hdrCredits)
+		return
+	}
+	if len(proc.rxFree) == 0 {
+		if n.exhaust(m, "rx pending pool empty") {
+			n.Chip.RxFIFO.Put(hdrCredits)
+		}
+		return
+	}
+	p := proc.rxFree[len(proc.rxFree)-1]
+	proc.rxFree = proc.rxFree[:len(proc.rxFree)-1]
+	n.gbnAdvance(src, m)
+	p.reset()
+	p.proc = proc
+	p.msg = m
+	p.Hdr = m.Hdr
+	p.Inline = m.Inline
+	p.crc = headerCRC(m)
+	if stub, ok := n.streams[m.ID]; ok && stub != p {
+		// Adopt chunks that raced ahead of this handler.
+		p.queued = stub.queued
+		p.arrived = stub.arrived
+	}
+	if m.PayloadLen > 0 {
+		n.streams[m.ID] = p
+	}
+
+	if m.PayloadLen == 0 {
+		// Whole message fit in the header packet (≤12 B inline, a bare
+		// get/ack, or a zero-length put): deliver header and completion
+		// together — the small-message optimization that saves an
+		// interrupt (§6).
+		ok := p.crc == m.CRC
+		if !ok {
+			n.Stats.CrcFails++
+		}
+		if len(m.Inline) > 0 {
+			n.Stats.InlineRx++
+		}
+		n.gbnDataReceived(p, ok)
+		ev := Event{Kind: EvNewHeader, Pending: p, OK: ok}
+		if proc.Accel {
+			n.Chip.RxFIFO.Put(hdrCredits)
+			proc.Handle(ev)
+			return
+		}
+		n.Stats.EventsPosted++
+		n.Chip.WriteHost(int64(wire.HeaderBytes+len(m.Inline)+fwEventBytes), func() {
+			n.Chip.RxFIFO.Put(hdrCredits)
+			proc.Handle(ev)
+		})
+		return
+	}
+
+	// Payload follows: hand the header to the Portals processing (host in
+	// generic mode, right here in accelerated mode) and keep streaming
+	// chunks into the RX FIFO meanwhile.
+	ev := Event{Kind: EvNewHeader, Pending: p, OK: true}
+	if proc.Accel {
+		n.Chip.RxFIFO.Put(hdrCredits)
+		proc.Handle(ev)
+		return
+	}
+	n.Stats.EventsPosted++
+	n.Chip.WriteHost(int64(wire.HeaderBytes+fwEventBytes), func() {
+		n.Chip.RxFIFO.Put(hdrCredits)
+		proc.Handle(ev)
+	})
+}
+
+// condemn marks a message's remaining payload for silent discard.
+func (n *NIC) condemn(m *fabric.Message) {
+	stub, ok := n.streams[m.ID]
+	delete(n.streams, m.ID)
+	remaining := m.PayloadLen
+	if ok {
+		for _, c := range stub.queued {
+			remaining -= len(c.Data)
+			n.Chip.RxFIFO.Put(int64(len(c.Data)))
+		}
+	}
+	if remaining > 0 {
+		n.dead[m.ID] = remaining
+	}
+}
+
+// ChunkArrived implements fabric.Endpoint: payload bytes land in the RX
+// FIFO. The RX DMA engine demultiplexes interleaved streams without PowerPC
+// involvement (§4.3), so no handler cycles are charged here.
+func (n *NIC) ChunkArrived(c *fabric.Chunk) {
+	if left, dead := n.dead[c.Msg.ID]; dead {
+		n.Chip.RxFIFO.Put(int64(len(c.Data)))
+		left -= len(c.Data)
+		if left <= 0 {
+			delete(n.dead, c.Msg.ID)
+		} else {
+			n.dead[c.Msg.ID] = left
+		}
+		return
+	}
+	p, ok := n.streams[c.Msg.ID]
+	if !ok {
+		// A stream can only be unknown if it was condemned and fully
+		// drained, which contradicts more chunks arriving.
+		panic("fw: chunk for unknown stream")
+	}
+	p.arrived += len(c.Data)
+	if p.programmed || p.discardAll {
+		n.consumeChunk(p, c)
+		return
+	}
+	p.queued = append(p.queued, c)
+}
+
+// consumeChunk moves one arrived chunk out of the RX FIFO: the prefix
+// within the host's manipulated length crosses HyperTransport into the
+// target buffer; the rest (truncation) is discarded on the spot.
+func (n *NIC) consumeChunk(p *Pending, c *fabric.Chunk) {
+	p.crc = crc32.Update(p.crc, crc32.IEEETable, c.Data)
+	depositLen := 0
+	if !p.discardAll {
+		if c.Off < p.mlen {
+			depositLen = p.mlen - c.Off
+			if depositLen > len(c.Data) {
+				depositLen = len(c.Data)
+			}
+		}
+	}
+	if depositLen > 0 {
+		data := c.Data
+		off := c.Off
+		segs := n.segsInRange(p.buf, p.bufOff+off, depositLen)
+		n.Chip.WriteHostStream(int64(depositLen), segs, func() {
+			p.buf.WriteAt(p.bufOff+off, data[:depositLen])
+			n.Chip.RxFIFO.Put(int64(len(data)))
+			p.consumed += len(data)
+			n.checkRxComplete(p)
+		})
+		return
+	}
+	n.Chip.RxFIFO.Put(int64(len(c.Data)))
+	p.consumed += len(c.Data)
+	n.checkRxComplete(p)
+}
+
+// checkRxComplete finishes a receive once every payload byte has been
+// deposited or discarded: CRC verdict, completion event (generic: one more
+// interrupt — the second one the paper counts for long messages, §6), or
+// silent release for discards.
+func (n *NIC) checkRxComplete(p *Pending) {
+	if p.consumed < p.msg.PayloadLen {
+		return
+	}
+	delete(n.streams, p.msg.ID)
+	if p.discardAll {
+		// No completion event for discards. The host already released the
+		// pending (the pool hands out fresh structures, so this one keeps
+		// draining safely); nothing further to do.
+		n.Stats.Discards++
+		return
+	}
+	ok := p.crc == p.msg.CRC
+	if !ok {
+		n.Stats.CrcFails++
+	}
+	n.gbnDataReceived(p, ok)
+	n.exec("rx-done", n.P.FwRxDoneCycles, func() {
+		ev := Event{Kind: EvRxDone, Pending: p, OK: ok}
+		if p.proc.Accel {
+			p.proc.Handle(ev)
+			return
+		}
+		n.postEvent(p.proc, ev)
+	})
+}
+
+// SubmitRx is the host's receive command (§4.3): after Portals matching,
+// the host tells the firmware where the message's payload belongs — the
+// pending id, the target buffer, and how many bytes to accept (the rest is
+// implicitly discarded). done is recorded on the pending for the driver's
+// completion handling.
+func (p *Pending) SubmitRx(buf Buffer, bufOff, mlen int, done func(ok bool)) {
+	n := p.proc.nic
+	p.proc.command(n.P.FwRxCmdCycles+n.P.FwDMAProgramCycles, func() {
+		p.buf = buf
+		p.bufOff = bufOff
+		p.mlen = mlen
+		p.done = done
+		p.programmed = true
+		n.drainQueued(p)
+	})
+}
+
+// ProgramRx is the NIC-local equivalent of SubmitRx, used by accelerated
+// mode: the firmware matched the header itself, so the receive DMA engine
+// can be programmed immediately — no mailbox, no HyperTransport round trip
+// ("arriving messages to be immediately processed, rather than waiting for
+// the host", §3.3).
+func (p *Pending) ProgramRx(buf Buffer, bufOff, mlen int, done func(ok bool)) {
+	n := p.proc.nic
+	n.exec("rx-program-local", n.P.FwDMAProgramCycles, func() {
+		p.buf = buf
+		p.bufOff = bufOff
+		p.mlen = mlen
+		p.done = done
+		p.programmed = true
+		n.drainQueued(p)
+	})
+}
+
+// DiscardLocal is the NIC-local equivalent of Discard.
+func (p *Pending) DiscardLocal() {
+	n := p.proc.nic
+	n.exec("rx-discard-local", n.P.FwRxCmdCycles, func() {
+		p.discardAll = true
+		n.drainQueued(p)
+	})
+}
+
+// ReleaseLocal is the NIC-local equivalent of Release.
+func (p *Pending) ReleaseLocal() {
+	n := p.proc.nic
+	n.exec("release-local", n.P.FwReleaseCycles, func() { n.freeRx(p) })
+}
+
+// Discard is the host's "drop this message" command: every payload byte is
+// consumed from the FIFO and thrown away, with no completion event. The
+// host follows up with Release; the discard stream finishes draining on its
+// own.
+func (p *Pending) Discard() {
+	n := p.proc.nic
+	p.proc.command(n.P.FwRxCmdCycles, func() {
+		p.discardAll = true
+		n.drainQueued(p)
+	})
+}
+
+// Release is the host's release-pending command (§4.3), returning the
+// pending to the firmware's free list once the host is done with the upper
+// pending contents.
+func (p *Pending) Release() {
+	n := p.proc.nic
+	p.proc.command(n.P.FwReleaseCycles, func() { n.freeRx(p) })
+}
+
+// drainQueued consumes chunks that arrived before the host's command, then
+// handles the degenerate already-complete cases.
+func (n *NIC) drainQueued(p *Pending) {
+	queued := p.queued
+	p.queued = nil
+	for _, c := range queued {
+		n.consumeChunk(p, c)
+	}
+	if len(queued) == 0 && p.consumed >= p.msg.PayloadLen {
+		n.checkRxComplete(p)
+	}
+}
+
+// freeRx returns a pending to its process pool.
+func (n *NIC) freeRx(p *Pending) {
+	if p.released {
+		panic("fw: double release of rx pending")
+	}
+	p.released = true
+	proc := p.proc
+	fresh := &Pending{proc: proc}
+	proc.rxFree = append(proc.rxFree, fresh)
+}
+
+// reset clears receive state for reuse.
+func (p *Pending) reset() {
+	p.queued = nil
+	p.arrived = 0
+	p.consumed = 0
+	p.crc = 0
+	p.programmed = false
+	p.discardAll = false
+	p.buf = nil
+	p.bufOff = 0
+	p.mlen = 0
+	p.done = nil
+	p.released = false
+}
+
+// Complete reports whether the message arrived entirely in its header
+// packet (inline data or no payload): header and completion delivered
+// together, no receive command needed.
+func (p *Pending) Complete() bool { return p.msg.PayloadLen == 0 }
+
+// PayloadLen reports the chunked payload size of the pending's message.
+func (p *Pending) PayloadLen() int { return p.msg.PayloadLen }
+
+// Done returns the completion callback stored by SubmitRx.
+func (p *Pending) Done() func(ok bool) { return p.done }
+
+// command posts one mailbox command from the host: it takes a command FIFO
+// slot (backpressuring the host when full), models the posted-write latency
+// across HyperTransport, then runs handler as a firmware handler of the
+// given cycle cost. The slot frees when the firmware pops the command.
+func (p *Process) command(cycles int64, handler func()) {
+	n := p.nic
+	p.cmdSlots.Take(1, func() {
+		n.S.After(n.P.HTWriteLatency, func() {
+			n.exec("mailbox-cmd", cycles, func() {
+				p.cmdSlots.Put(1)
+				handler()
+			})
+		})
+	})
+}
+
+// QueryStats is a synchronous mailbox command: the host posts it to the
+// command FIFO and busy-waits until the firmware writes the answer to the
+// result FIFO ("If the command returns a result, the host busy-waits until
+// the firmware posts the result", §4.1). It returns a snapshot of the
+// firmware counters — what a RAS poll reads from the control block.
+func (p *Process) QueryStats(caller *sim.Proc) Stats {
+	n := p.nic
+	var out Stats
+	got := false
+	sig := sim.NewSignal(n.S)
+	p.command(n.P.FwReleaseCycles, func() {
+		out = n.Stats
+		out.HeadersRx = n.Stats.HeadersRx // snapshot under the handler
+		// The result crosses back to host memory as one posted write.
+		n.Chip.WriteHost(fwEventBytes, func() {
+			got = true
+			sig.Raise()
+		})
+	})
+	for !got {
+		sig.Wait(caller)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package fw
+
+import (
+	"errors"
+	"hash/crc32"
+
+	"portals3/internal/fabric"
+	"portals3/internal/topo"
+	"portals3/internal/wire"
+)
+
+// ErrNoTxPending reports an empty host-managed transmit pending pool; the
+// driver must retry after a TX_DONE returns one.
+var ErrNoTxPending = errors.New("fw: transmit pending pool empty")
+
+// ErrAccelNonContiguous rejects a non-contiguous buffer on an accelerated
+// mailbox (paper §3.3).
+var ErrAccelNonContiguous = errors.New("fw: accelerated mode requires physically contiguous buffers")
+
+// SubmitTx is the host's transmit command path (§4.3): allocate a pending
+// from the host-managed pool, store the header in the upper pending, and
+// push the command (pending id, target node, payload address, length) to
+// the firmware mailbox. Non-contiguous buffers arrive with their DMA
+// commands pre-computed by the host; the extra host cycles for that are
+// charged by the NAL driver, the extra per-segment HT transactions here.
+func (n *NIC) SubmitTx(req *TxReq) error {
+	proc := n.procForPid(req.Pid)
+	if proc == nil {
+		return errors.New("fw: no firmware process for pid")
+	}
+	if len(proc.txFree) == 0 {
+		return ErrNoTxPending
+	}
+	if proc.Accel && req.Buf != nil && req.Buf.Segments() > 1 {
+		// "accelerated mode will not support non-contiguous message
+		// buffers" (§3.3): the dedicated mailbox has no room for per-page
+		// DMA command lists.
+		return ErrAccelNonContiguous
+	}
+	p := proc.txFree[len(proc.txFree)-1]
+	proc.txFree = proc.txFree[:len(proc.txFree)-1]
+	p.req = req
+	req.pending = p
+	proc.command(n.P.FwTxCmdCycles, func() {
+		src := n.allocSource(topo.NodeID(req.Hdr.DstNid))
+		if src == nil {
+			// TX-side source exhaustion cannot be NACKed away — the
+			// pool is local. It is always a sizing failure.
+			n.Stats.Exhaustions++
+			n.OnPanic("tx source pool empty")
+			return
+		}
+		n.gbnAssignSeq(src, req)
+		n.txq = append(n.txq, req)
+		n.pumpTx()
+	})
+	return nil
+}
+
+// sendControl transmits a NIC-level flow control frame. Control frames are
+// built entirely in firmware — no pending, no host memory reads — but they
+// serialize through the same TX queue as everything else (§4.3: "All
+// transmits, regardless of destination or process type, are serialized
+// through a single TX FIFO").
+func (n *NIC) sendControl(dst topo.NodeID, typ wire.MsgType, seq uint32) {
+	hdr := wire.Header{
+		Type:   typ,
+		SrcNid: uint32(n.Node),
+		DstNid: uint32(dst),
+		Offset: seq,
+	}
+	n.txq = append(n.txq, &TxReq{Hdr: hdr, ctrl: true})
+	n.pumpTx()
+}
+
+// pumpTx starts the transmit state machine on the head of the TX pending
+// list if it is idle. One message transmits at a time.
+func (n *NIC) pumpTx() {
+	if n.txBusy || len(n.txq) == 0 {
+		return
+	}
+	n.txBusy = true
+	req := n.txq[0]
+	n.exec("tx-program", n.P.FwDMAProgramCycles, func() { n.txStart(req) })
+}
+
+// txStart fetches the header from the upper pending in host memory (one HT
+// read — control frames skip it, their header is SRAM-resident) and then
+// transmits.
+func (n *NIC) txStart(req *TxReq) {
+	if req.ctrl {
+		n.txHeaderReady(req, nil)
+		return
+	}
+	n.Chip.ReadHost(int64(wire.PacketBytes), 1, func() {
+		if req.Len <= n.P.InlineDataMax && req.Len > 0 && req.Hdr.HasPayload() {
+			// Small-message optimization: the payload rides in the header
+			// packet. One more HT read fetches it from main memory.
+			n.Chip.ReadHost(int64(req.Len), n.segsInRange(req.Buf, req.Off, req.Len), func() {
+				data := make([]byte, req.Len)
+				req.Buf.ReadAt(req.Off, data)
+				n.txHeaderReady(req, data)
+			})
+			return
+		}
+		n.txHeaderReady(req, nil)
+	})
+}
+
+// txHeaderReady injects the header packet and, for chunked payloads,
+// starts the chunk pipeline.
+func (n *NIC) txHeaderReady(req *TxReq, inline []byte) {
+	payloadLen := req.Len
+	if inline != nil {
+		payloadLen = 0
+	}
+	if !req.Hdr.HasPayload() {
+		payloadLen = 0
+	}
+	m := n.Fab.NewStream(req.Hdr, n.Node, topo.NodeID(req.Hdr.DstNid), payloadLen)
+	m.FwSeq = req.seq
+	if inline != nil {
+		m.SetInline(inline)
+	}
+	req.msg = m
+	var hdrBuf [wire.HeaderBytes]byte
+	m.Hdr.Encode(hdrBuf[:])
+	req.crc = crc32.ChecksumIEEE(hdrBuf[:])
+	req.crc = crc32.Update(req.crc, crc32.IEEETable, m.Inline)
+	if payloadLen == 0 {
+		m.SetCRC(req.crc)
+		m.OnInjected = func() { n.txComplete(req) }
+		n.Fab.SendHeader(m)
+		return
+	}
+	n.Fab.SendHeader(m)
+	n.txNextChunk(req, 0)
+}
+
+// txNextChunk runs the payload pipeline: reserve TX FIFO space, DMA-read
+// the chunk from host memory (zero-copy: bytes are captured at read time),
+// fold it into the running CRC, and inject it. When the FIFO is full the
+// state machine yields, exactly as §4.3 describes.
+func (n *NIC) txNextChunk(req *TxReq, off int) {
+	sz := n.P.ChunkBytes
+	if off+sz > req.Len {
+		sz = req.Len - off
+	}
+	last := off+sz == req.Len
+	n.Chip.TxFIFO.Take(int64(sz), func() {
+		n.Chip.ReadHostStream(int64(sz), n.segsInRange(req.Buf, req.Off+off, sz), func() {
+			data := make([]byte, sz)
+			req.Buf.ReadAt(req.Off+off, data)
+			req.crc = crc32.Update(req.crc, crc32.IEEETable, data)
+			if last {
+				req.msg.SetCRC(req.crc)
+			}
+			chunk := &fabric.Chunk{
+				Msg:  req.msg,
+				Off:  off,
+				Data: data,
+				Last: last,
+			}
+			chunk.OnInjected = func() {
+				n.Chip.TxFIFO.Put(int64(sz))
+				if last {
+					n.txComplete(req)
+				}
+			}
+			n.Fab.SendChunk(chunk)
+			if !last {
+				n.txNextChunk(req, off+sz)
+			}
+		})
+	})
+}
+
+// txComplete runs when the message's final packet enters the wire: unlink
+// from the TX pending list, post the transmit-complete event (unless
+// go-back-n holds it for the peer's ack), and pump the next message.
+func (n *NIC) txComplete(req *TxReq) {
+	n.exec("tx-done", n.P.FwTxDoneCycles, func() {
+		if len(n.txq) == 0 || n.txq[0] != req {
+			panic("fw: tx completion out of order")
+		}
+		n.txq = n.txq[1:]
+		n.txBusy = false
+		n.Stats.MsgsTx++
+		if !req.ctrl {
+			if n.Policy == ExhaustGoBackN {
+				n.gbnHoldCompletion(req)
+			} else {
+				n.finishTx(req, true)
+			}
+		}
+		n.pumpTx()
+	})
+}
+
+// finishTx frees the pending back to the host-managed pool and posts the
+// TX_DONE event.
+func (n *NIC) finishTx(req *TxReq, ok bool) {
+	proc := n.procForPid(req.Pid)
+	if req.pending != nil {
+		fresh := &Pending{proc: proc, tx: true}
+		proc.txFree = append(proc.txFree, fresh)
+		req.pending = nil
+	}
+	ev := Event{Kind: EvTxDone, Tx: req, OK: ok}
+	if proc.Accel {
+		proc.Handle(ev)
+		return
+	}
+	n.postEvent(proc, ev)
+}
+
+// segsInRange counts the physically contiguous segments of buf in
+// [off, off+n): 1 for Catamount's contiguous memory, the page span for
+// Linux. Each segment is a separate DMA transaction.
+func (n *NIC) segsInRange(buf Buffer, off, nbytes int) int {
+	if buf == nil || nbytes == 0 || buf.Segments() <= 1 {
+		return 1
+	}
+	page := int(n.P.PageBytes)
+	return (off+nbytes-1)/page - off/page + 1
+}

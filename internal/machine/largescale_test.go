@@ -1,0 +1,239 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"portals3/internal/core"
+	"portals3/internal/model"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+)
+
+// pingLatency measures one-way put latency between two arbitrary nodes of
+// an existing machine.
+func pingLatency(t *testing.T, m *Machine, na, nb topo.NodeID, size int) sim.Time {
+	t.Helper()
+	var rtt sim.Time
+	var a, b *App
+	b, _ = m.Spawn(nb, "pong", Generic, func(app *App) {
+		_, eq := recvSetup(t, app, 1<<16, core.MDOpPut)
+		seq, _ := app.API.EQAlloc(16)
+		src := app.Alloc(size)
+		md, _ := app.API.MDBind(core.MDesc{Region: src, Threshold: core.ThresholdInfinite, EQ: seq})
+		for i := 0; i < 4; i++ {
+			waitFor(t, app, eq, core.EventPutEnd)
+			app.API.PutRegion(md, 0, size, core.NoAck, a.ID(), testPtl, 7, 0, 0)
+		}
+	})
+	a, _ = m.Spawn(na, "ping", Generic, func(app *App) {
+		_, eq := recvSetup(t, app, 1<<16, core.MDOpPut)
+		app.Proc.Sleep(100 * sim.Microsecond)
+		seq, _ := app.API.EQAlloc(16)
+		src := app.Alloc(size)
+		md, _ := app.API.MDBind(core.MDesc{Region: src, Threshold: core.ThresholdInfinite, EQ: seq})
+		// Warmup round, then three timed rounds.
+		app.API.PutRegion(md, 0, size, core.NoAck, b.ID(), testPtl, 7, 0, 0)
+		waitFor(t, app, eq, core.EventPutEnd)
+		t0 := app.Proc.Now()
+		for i := 0; i < 3; i++ {
+			app.API.PutRegion(md, 0, size, core.NoAck, b.ID(), testPtl, 7, 0, 0)
+			waitFor(t, app, eq, core.EventPutEnd)
+		}
+		rtt = (app.Proc.Now() - t0) / 3
+	})
+	m.Run()
+	return rtt / 2
+}
+
+func TestLatencyGrowsWithDistanceOnRedStorm(t *testing.T) {
+	// §1: the requirement was 2 µs nearest-neighbor and 5 µs between the
+	// two furthest nodes — a wire-distance delta of about 3 µs. Measure a
+	// 1-hop pair against the diameter pair on the full Red Storm topology
+	// (lazy node construction keeps this cheap).
+	rs := topo.RedStorm()
+	near := New(model.Defaults(), rs)
+	lNear := pingLatency(t, near, rs.ID(topo.Coord{X: 0, Y: 0, Z: 0}), rs.ID(topo.Coord{X: 1, Y: 0, Z: 0}), 8)
+
+	far := New(model.Defaults(), rs)
+	src := rs.ID(topo.Coord{X: 0, Y: 0, Z: 0})
+	dst := rs.ID(topo.Coord{X: 26, Y: 15, Z: 12}) // diameter: 26+15+12 = 53 hops
+	if got := rs.Hops(src, dst); got != rs.Diameter() {
+		t.Fatalf("test pair spans %d hops, diameter is %d", got, rs.Diameter())
+	}
+	lFar := pingLatency(t, far, src, dst, 8)
+
+	delta := lFar - lNear
+	p := model.Defaults()
+	wire := sim.Time(rs.Diameter()-1) * (p.HopLatency + sim.BytesAt(64, p.LinkBps))
+	if delta != wire {
+		t.Errorf("distance delta = %v, want exactly the wire time of %d extra hops = %v",
+			delta, rs.Diameter()-1, wire)
+	}
+	if delta < 2*sim.Microsecond || delta > 5*sim.Microsecond {
+		t.Errorf("distance delta %v outside the §1 requirement band", delta)
+	}
+}
+
+func TestIncastSaturatesSharedResources(t *testing.T) {
+	// Three senders stream 4 MB each into one node. The aggregate offered
+	// load (3 × 1.1 GB/s of HT reads) exceeds both the receiver's HT write
+	// path and the final link, so total goodput must settle at the
+	// receiver-side bottleneck, not the offered load.
+	p := model.Defaults()
+	tp, _ := topo.New(4, 1, 1, false, false, false)
+	m := New(p, tp)
+	const per = 4 << 20
+	var doneAt sim.Time
+	var first sim.Time
+	received := 0
+	recv, _ := m.Spawn(3, "sink", Generic, func(app *App) {
+		eq, _ := app.API.EQAlloc(1024)
+		me, _ := app.API.MEAttach(testPtl, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny}, 7, 0, core.Retain, core.After)
+		app.API.MDAttach(me, core.MDesc{Region: app.Alloc(per), Threshold: core.ThresholdInfinite,
+			Options: core.MDOpPut | core.MDManageRemote | core.MDEventStartDisable, EQ: eq}, core.Retain)
+		for received < 3 {
+			ev, err := app.API.EQWait(eq)
+			if err != nil {
+				return
+			}
+			if ev.Type == core.EventPutEnd {
+				if received == 0 && first == 0 {
+					first = app.Proc.Now()
+				}
+				received++
+				doneAt = app.Proc.Now()
+			}
+		}
+	})
+	for s := 0; s < 3; s++ {
+		m.Spawn(topo.NodeID(s), "src", Generic, func(app *App) {
+			app.Proc.Sleep(50 * sim.Microsecond)
+			src := app.Alloc(per)
+			md, _ := app.API.MDBind(core.MDesc{Region: src, Threshold: core.ThresholdInfinite})
+			app.API.Put(md, core.NoAck, recv.ID(), testPtl, 7, 0, 0)
+		})
+	}
+	m.Run()
+	if received != 3 {
+		t.Fatalf("received %d of 3", received)
+	}
+	elapsed := (doneAt - 50*sim.Microsecond).Seconds()
+	aggGBs := float64(3*per) / elapsed / 1e9
+	// Receiver bottleneck: min(HT write 2.2, link 2.5) = 2.2 GB/s.
+	if aggGBs > 2.3 || aggGBs < 1.7 {
+		t.Errorf("incast aggregate %.2f GB/s; want ≈2.2 (receiver HT write bound)", aggGBs)
+	}
+}
+
+func TestParallelDisjointFlowsDoNotInterfere(t *testing.T) {
+	// Flows 0→1 and 2→3 share nothing; each must run at full speed
+	// simultaneously (the machine has no hidden global bottleneck).
+	p := model.Defaults()
+	tp, _ := topo.New(4, 1, 1, false, false, false)
+	m := New(p, tp)
+	const per = 2 << 20
+	var done [2]sim.Time
+	for f := 0; f < 2; f++ {
+		f := f
+		rx, tx := topo.NodeID(2*f+1), topo.NodeID(2*f)
+		var dst *App
+		dst, _ = m.Spawn(rx, "rx", Generic, func(app *App) {
+			_, eq := recvSetup(t, app, per, core.MDOpPut)
+			waitFor(t, app, eq, core.EventPutEnd)
+			done[f] = app.Proc.Now()
+		})
+		m.Spawn(tx, "tx", Generic, func(app *App) {
+			app.Proc.Sleep(50 * sim.Microsecond)
+			src := app.Alloc(per)
+			md, _ := app.API.MDBind(core.MDesc{Region: src, Threshold: core.ThresholdInfinite})
+			app.API.Put(md, core.NoAck, dst.ID(), testPtl, 7, 0, 0)
+		})
+	}
+	m.Run()
+	if done[0] != done[1] {
+		t.Errorf("disjoint flows finished at %v and %v; they share nothing and must tie", done[0], done[1])
+	}
+	single := sim.BytesAt(per, p.HTReadBps)
+	if done[0]-50*sim.Microsecond > single+single/10 {
+		t.Errorf("flow took %v, far above the solo transfer time %v", done[0]-50*sim.Microsecond, single)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	m := NewPair(model.Defaults())
+	var b *App
+	b, _ = m.Spawn(1, "rx", Generic, func(app *App) {
+		_, eq := recvSetup(t, app, 4096, core.MDOpPut)
+		waitFor(t, app, eq, core.EventPutEnd)
+	})
+	m.Spawn(0, "tx", Generic, func(app *App) {
+		app.Proc.Sleep(20 * sim.Microsecond)
+		src := app.Alloc(2048)
+		md, _ := app.API.MDBind(core.MDesc{Region: src, Threshold: core.ThresholdInfinite})
+		app.API.Put(md, core.NoAck, b.ID(), testPtl, 7, 0, 0)
+	})
+	m.Run()
+	st := m.Stats()
+	if len(st.Nodes) != 2 {
+		t.Fatalf("stats cover %d nodes", len(st.Nodes))
+	}
+	if st.Nodes[1].Interrupts == 0 || st.Nodes[1].Firmware.HeadersRx == 0 {
+		t.Error("receiver-side counters empty")
+	}
+	if st.Nodes[0].Firmware.MsgsTx == 0 {
+		t.Error("sender-side counters empty")
+	}
+	if st.Fabric.Delivered == 0 {
+		t.Error("fabric counters empty")
+	}
+	if st.Nodes[0].SRAMUsed <= 0 || st.Nodes[0].SRAMFree <= 0 {
+		t.Error("SRAM accounting missing")
+	}
+	out := st.String()
+	for _, want := range []string{"node", "catamount", "fabric:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracingCapturesFullMessageLifecycle(t *testing.T) {
+	m := NewPair(model.Defaults())
+	tr := m.EnableTracing()
+	var b *App
+	b, _ = m.Spawn(1, "rx", Generic, func(app *App) {
+		_, eq := recvSetup(t, app, 8192, core.MDOpPut)
+		waitFor(t, app, eq, core.EventPutEnd)
+	})
+	m.Spawn(0, "tx", Generic, func(app *App) {
+		app.Proc.Sleep(20 * sim.Microsecond)
+		src := app.Alloc(4096)
+		eq, _ := app.API.EQAlloc(16)
+		md, _ := app.API.MDBind(core.MDesc{Region: src, Threshold: core.ThresholdInfinite, EQ: eq})
+		app.API.Put(md, core.NoAck, b.ID(), testPtl, 7, 0, 0)
+		waitFor(t, app, eq, core.EventSendEnd)
+	})
+	m.Run()
+	// Every layer must appear: wire, firmware, interrupts, Portals events.
+	seen := map[string]bool{}
+	for _, r := range tr.Records() {
+		seen[r.Cat+"/"+r.Name] = true
+	}
+	for _, want := range []string{
+		"net/tx PUT", "net/rx hdr PUT", "net/rx last chunk",
+		"fw/rx-header", "fw/tx-program", "fw/tx-done", "fw/rx-done",
+		"os/interrupt", "os/portals-processing",
+		"portals/PUT_END", "portals/SEND_END",
+	} {
+		if !seen[want] {
+			t.Errorf("trace missing %q; captured kinds: %d", want, len(seen))
+		}
+	}
+	// Timestamps must be monotone nonnegative and spans well-formed.
+	for _, r := range tr.Records() {
+		if r.TS < 0 || r.Dur < 0 {
+			t.Fatalf("negative time in record %+v", r)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package machine assembles complete simulated XT3 systems: nodes (Opteron
+// host + OS kernel + SeaStar + firmware + generic driver) wired into the
+// 3D interconnect, and application processes running against the Portals
+// API through the appropriate bridge.
+//
+// Nodes are built lazily, so a Red Storm-sized topology (10,368 nodes) can
+// be declared while only the nodes a test touches are instantiated.
+package machine
+
+import (
+	"fmt"
+
+	"portals3/internal/core"
+	"portals3/internal/fabric"
+	"portals3/internal/fw"
+	"portals3/internal/model"
+	"portals3/internal/nal"
+	"portals3/internal/oskernel"
+	"portals3/internal/seastar"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+	"portals3/internal/trace"
+)
+
+// Mode selects how a process reaches Portals (paper §3.1's four system
+// configurations).
+type Mode int
+
+// Process modes.
+const (
+	// Generic forwards every Portals call to the OS kernel; matching runs
+	// on the host, driven by interrupts.
+	Generic Mode = iota
+	// Accelerated posts commands directly to a dedicated firmware mailbox;
+	// matching runs on the NIC and the data path is interrupt-free.
+	// Catamount only (§3.3: accelerated mode does not support paged
+	// buffers).
+	Accelerated
+	// KernelService is a kernel-resident client (the Lustre case) reaching
+	// the library through kbridge: no trap cost, still generic mode.
+	KernelService
+)
+
+func (m Mode) String() string {
+	return [...]string{"generic", "accelerated", "kernel-service"}[m]
+}
+
+// Machine is one simulated system.
+type Machine struct {
+	S    *sim.Sim
+	P    model.Params
+	Topo *topo.Topology
+	Fab  *fabric.Fabric
+
+	// OSKind selects each node's operating system; the default is
+	// Catamount everywhere (a compute partition).
+	OSKind func(topo.NodeID) oskernel.Kind
+
+	nodes    map[topo.NodeID]*Node
+	gbn      bool
+	tracer   *trace.Tracer
+	failures []NodeFailure
+}
+
+// Node is one XT3 node.
+type Node struct {
+	ID      topo.NodeID
+	Kernel  *oskernel.Kernel
+	Chip    *seastar.Chip
+	NIC     *fw.NIC
+	Generic *nal.GenericDriver
+}
+
+// New builds a machine over the given topology.
+func New(p model.Params, tp *topo.Topology) *Machine {
+	s := sim.New()
+	return &Machine{
+		S:      s,
+		P:      p,
+		Topo:   tp,
+		Fab:    fabric.New(s, tp, &p),
+		OSKind: func(topo.NodeID) oskernel.Kind { return oskernel.Catamount },
+		nodes:  make(map[topo.NodeID]*Node),
+	}
+}
+
+// NewPair is the two-node micro-benchmark machine (the NetPIPE setup):
+// two adjacent Catamount nodes.
+func NewPair(p model.Params) *Machine {
+	tp, err := topo.New(2, 1, 1, false, false, false)
+	if err != nil {
+		panic(err)
+	}
+	return New(p, tp)
+}
+
+// Node returns (building on first use) the node with the given id.
+func (m *Machine) Node(id topo.NodeID) *Node {
+	if n, ok := m.nodes[id]; ok {
+		return n
+	}
+	if !m.Topo.Valid(id) {
+		panic(fmt.Sprintf("machine: invalid node %d", id))
+	}
+	kern := oskernel.New(m.S, &m.P, m.OSKind(id), id)
+	chip := seastar.New(m.S, &m.P, id)
+	nic, err := fw.New(m.S, &m.P, chip, m.Fab, id)
+	if err != nil {
+		panic(err)
+	}
+	if m.gbn {
+		nic.Policy = fw.ExhaustGoBackN
+	}
+	nic.Trace = m.tracer
+	kern.Trace = m.tracer
+	drv, err := nal.NewGeneric(kern, nic, m.Topo, &m.P)
+	if err != nil {
+		panic(err)
+	}
+	n := &Node{ID: id, Kernel: kern, Chip: chip, NIC: nic, Generic: drv}
+	m.installFailureHandler(n)
+	m.nodes[id] = n
+	return n
+}
+
+// EnableTracing starts recording a machine-wide timeline (wire, firmware,
+// interrupt and Portals-event activity) and returns the tracer. Call it
+// before spawning processes; write the result with Tracer.WriteChrome.
+func (m *Machine) EnableTracing() *trace.Tracer {
+	if m.tracer == nil {
+		m.tracer = trace.New()
+		m.Fab.Trace = m.tracer
+		for _, n := range m.nodes {
+			n.NIC.Trace = m.tracer
+			n.Kernel.Trace = m.tracer
+		}
+	}
+	return m.tracer
+}
+
+// EnableGoBackN switches every node — existing and subsequently built — to
+// the go-back-n exhaustion recovery protocol.
+func (m *Machine) EnableGoBackN() {
+	m.gbn = true
+	for _, n := range m.nodes {
+		n.NIC.Policy = fw.ExhaustGoBackN
+	}
+}
+
+// App is one running application process.
+type App struct {
+	M    *Machine
+	Node *Node
+	Pid  uint32
+	Mode Mode
+	// API is the process's Portals interface; valid once main runs.
+	API *nal.API
+	// Proc is the application coroutine.
+	Proc *sim.Proc
+}
+
+// Alloc obtains application memory from the node's OS: contiguous on
+// Catamount, paged on Linux.
+func (a *App) Alloc(n int) core.Region { return a.Node.Kernel.NewRegion(n) }
+
+// ID returns the process's Portals id without an API crossing.
+func (a *App) ID() core.ProcessID {
+	return core.ProcessID{Nid: uint32(a.Node.ID), Pid: a.Pid}
+}
+
+// Spawn starts an application process on a node in the given mode; main
+// runs as a simulator coroutine with a ready Portals API. Spawn returns the
+// App immediately (the process starts at the current virtual time).
+func (m *Machine) Spawn(node topo.NodeID, name string, mode Mode, main func(app *App)) (*App, error) {
+	n := m.Node(node)
+	pid := n.Kernel.AllocPid()
+	uid := 1000 + pid
+	app := &App{M: m, Node: n, Pid: pid, Mode: mode}
+
+	var lib *core.Lib
+	var bridge nal.Bridge
+	switch mode {
+	case Generic:
+		lib = n.Generic.AttachProcess(pid, uid, core.Limits{})
+		if n.Kernel.Kind == oskernel.Catamount {
+			bridge = nal.QKBridge{K: n.Kernel}
+		} else {
+			bridge = nal.UKBridge{K: n.Kernel}
+		}
+	case KernelService:
+		lib = n.Generic.AttachProcess(pid, uid, core.Limits{})
+		bridge = nal.KBridge{}
+	case Accelerated:
+		if n.Kernel.Kind != oskernel.Catamount {
+			return nil, fmt.Errorf("machine: accelerated mode requires Catamount (paper §3.3); node %d runs %v", node, n.Kernel.Kind)
+		}
+		drv, err := nal.NewAccel(n.NIC, m.Topo, &m.P, pid, uid, core.Limits{}, accelPendings)
+		if err != nil {
+			return nil, err
+		}
+		lib = drv.Lib()
+		bridge = nal.AccelBridge{}
+	default:
+		return nil, fmt.Errorf("machine: unknown mode %d", mode)
+	}
+
+	lib.Trace = m.tracer
+	m.S.Go(name, func(p *sim.Proc) {
+		app.Proc = p
+		app.API = nal.NewAPI(p, lib, bridge, &m.P)
+		main(app)
+	})
+	return app, nil
+}
+
+// accelPendings sizes an accelerated process's pending pool; small, per the
+// paper's limited-NIC-resources constraint.
+const accelPendings = 256
+
+// Run executes the simulation to completion.
+func (m *Machine) Run() { m.S.Run() }
+
+// RunUntil executes the simulation up to a virtual-time horizon.
+func (m *Machine) RunUntil(t sim.Time) { m.S.RunUntil(t) }

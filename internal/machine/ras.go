@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+)
+
+// This file is the machine's reliability/availability/serviceability loop:
+// the SeaStar carries "all of the support functions necessary to provide
+// reliability, availability, and serviceability (RAS) and boot services"
+// (paper §2), and the firmware keeps a "heartbeat for RAS" in its control
+// block (§4.2, Figure 3). Node panics (§4.3's exhaustion behavior) stop the
+// heartbeat; the RAS monitor notices.
+
+// NodeFailure records one panicked node.
+type NodeFailure struct {
+	Node   topo.NodeID
+	Reason string
+	At     sim.Time
+}
+
+// Failures returns the nodes that have panicked, in node order. The
+// machine installs a panic handler on every node that records the failure
+// and kills the firmware (blackholing its traffic) instead of crashing the
+// process; set Node(n).NIC.OnPanic yourself to restore the crash-hard
+// behavior.
+func (m *Machine) Failures() []NodeFailure {
+	out := append([]NodeFailure(nil), m.failures...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// installFailureHandler is called at node construction.
+func (m *Machine) installFailureHandler(n *Node) {
+	nic := n.NIC
+	id := n.ID
+	nic.OnPanic = func(reason string) {
+		m.failures = append(m.failures, NodeFailure{Node: id, Reason: reason, At: m.S.Now()})
+		nic.Kill()
+	}
+}
+
+// RAS is a running heartbeat monitor.
+type RAS struct {
+	m      *Machine
+	period sim.Time
+	last   map[topo.NodeID]uint64
+	missed map[topo.NodeID]int
+	dead   map[topo.NodeID]sim.Time
+	halted bool
+}
+
+// Dead returns the nodes the monitor has declared failed, with detection
+// times, in node order.
+func (r *RAS) Dead() []NodeFailure {
+	var out []NodeFailure
+	for id, at := range r.dead {
+		out = append(out, NodeFailure{Node: id, Reason: "heartbeat lost", At: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Stop halts the monitor (and lets the event heap drain).
+func (r *RAS) Stop() { r.halted = true }
+
+// StartRAS begins firmware heartbeats on every instantiated node and a
+// monitor that samples them every period, declaring a node dead after
+// three silent samples. Because heartbeats keep the event heap busy, drive
+// the simulation with RunUntil (and Stop the monitor before a final Run).
+func (m *Machine) StartRAS(period sim.Time) *RAS {
+	r := &RAS{
+		m:      m,
+		period: period,
+		last:   make(map[topo.NodeID]uint64),
+		missed: make(map[topo.NodeID]int),
+		dead:   make(map[topo.NodeID]sim.Time),
+	}
+	ids := make([]topo.NodeID, 0, len(m.nodes))
+	for id, n := range m.nodes {
+		n.NIC.StartHeartbeat(period / 4)
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sample func()
+	sample = func() {
+		if r.halted {
+			return
+		}
+		for _, id := range ids {
+			n := m.nodes[id]
+			hb := n.NIC.Heartbeat
+			if _, gone := r.dead[id]; gone {
+				continue
+			}
+			if hb == r.last[id] {
+				r.missed[id]++
+				if r.missed[id] >= 3 {
+					r.dead[id] = m.S.Now()
+				}
+			} else {
+				r.missed[id] = 0
+			}
+			r.last[id] = hb
+		}
+		m.S.After(period, sample)
+	}
+	m.S.After(period, sample)
+	return r
+}
+
+func (f NodeFailure) String() string {
+	return fmt.Sprintf("node %d failed at %v: %s", f.Node, f.At, f.Reason)
+}

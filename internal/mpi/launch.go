@@ -1,0 +1,52 @@
+package mpi
+
+import (
+	"fmt"
+
+	"portals3/internal/core"
+	"portals3/internal/machine"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+)
+
+// Launch spawns an MPI job: one rank per listed node, running main. It
+// mirrors yod/mpirun on the real machine — the job launcher distributes the
+// rank-to-node map and synchronizes startup before user code runs.
+func Launch(m *machine.Machine, nodes []topo.NodeID, impl Impl, mode machine.Mode, main func(r *Rank)) error {
+	peers := make([]core.ProcessID, len(nodes))
+	bar := &launchBarrier{need: len(nodes), sig: sim.NewSignal(m.S)}
+	for i, node := range nodes {
+		i := i
+		app, err := m.Spawn(node, fmt.Sprintf("rank%d", i), mode, func(app *machine.App) {
+			r, err := NewRank(app.API, app.Proc, app.Alloc, &m.P, ConfigFor(&m.P, impl), i, peers)
+			if err != nil {
+				panic(fmt.Sprintf("mpi: rank %d init: %v", i, err))
+			}
+			bar.wait(app.Proc)
+			main(r)
+		})
+		if err != nil {
+			return err
+		}
+		peers[i] = app.ID()
+	}
+	return nil
+}
+
+// launchBarrier is the out-of-band job-launch synchronization: every rank
+// must have its sinks posted before any rank may send. (The real launcher
+// does this over the RAS network, outside the Portals data path.)
+type launchBarrier struct {
+	need int
+	have int
+	sig  *sim.Signal
+}
+
+func (b *launchBarrier) wait(p *sim.Proc) {
+	b.have++
+	if b.have == b.need {
+		b.sig.Raise()
+		return
+	}
+	b.sig.Wait(p)
+}

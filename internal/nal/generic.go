@@ -1,0 +1,289 @@
+package nal
+
+import (
+	"portals3/internal/core"
+	"portals3/internal/fw"
+	"portals3/internal/model"
+	"portals3/internal/oskernel"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+	"portals3/internal/wire"
+)
+
+// GenericDriver is the generic-mode SSNAL: the kernel-resident Portals
+// implementation of paper §3.3/§4. The firmware interrupts the host with
+// new headers; this driver performs the Portals matching, answers with
+// receive commands, posts completion events to the applications, and pushes
+// transmit commands for every generic process on the node.
+//
+// One driver serves all generic processes on a node — Catamount
+// applications through qkbridge, Linux user applications through ukbridge
+// and kernel services through kbridge all multiplex onto its single
+// firmware mailbox, exactly as in the paper.
+type GenericDriver struct {
+	S    *sim.Sim
+	P    *model.Params
+	K    *oskernel.Kernel
+	NIC  *fw.NIC
+	Topo *topo.Topology
+
+	libs map[uint32]*core.Lib
+
+	evq     []fw.Event
+	backlog []*fw.TxReq // transmit requests awaiting a free TX pending
+
+	// Stats for tests and reports.
+	EventsHandled uint64
+	Drops         uint64
+}
+
+// NewGeneric builds the driver, registers it as the NIC's generic process
+// (with the paper's pending pool size) and installs the interrupt handler.
+func NewGeneric(k *oskernel.Kernel, nic *fw.NIC, tp *topo.Topology, p *model.Params) (*GenericDriver, error) {
+	d := &GenericDriver{S: k.S, P: p, K: k, NIC: nic, Topo: tp, libs: make(map[uint32]*core.Lib)}
+	if _, err := nic.RegisterGeneric(p.NumGenericPendings, d.fwEvent); err != nil {
+		return nil, err
+	}
+	k.SetInterruptHandler(d.drain)
+	return d, nil
+}
+
+// AttachProcess creates the kernel-resident library state for one generic
+// process and returns it. The machine layer pairs it with an API through
+// the appropriate bridge.
+func (d *GenericDriver) AttachProcess(pid, uid uint32, limits core.Limits) *core.Lib {
+	lib := core.NewLib(d.S, core.ProcessID{Nid: uint32(d.NIC.Node), Pid: pid}, uid, limits, &procBackend{d: d, pid: pid})
+	d.libs[pid] = lib
+	return lib
+}
+
+// DetachProcess removes a process's library (process exit).
+func (d *GenericDriver) DetachProcess(pid uint32) { delete(d.libs, pid) }
+
+// Lib returns the kernel-resident library of one generic process, for
+// diagnostics and tests.
+func (d *GenericDriver) Lib(pid uint32) *core.Lib { return d.libs[pid] }
+
+// procBackend adapts the driver into a core.Backend for one process.
+type procBackend struct {
+	d   *GenericDriver
+	pid uint32
+}
+
+// Send implements core.Backend: forward the library's send to the firmware
+// as a transmit command.
+func (b *procBackend) Send(req *core.SendReq) { b.d.send(b.pid, req) }
+
+// Distance implements core.Backend via the routing tables.
+func (b *procBackend) Distance(nid uint32) int {
+	return b.d.Topo.Hops(b.d.NIC.Node, topo.NodeID(nid))
+}
+
+// send builds the firmware transmit request for a library send and submits
+// it, holding it in a backlog when the host-managed pending pool is empty.
+func (d *GenericDriver) send(pid uint32, req *core.SendReq) {
+	lib := d.libs[pid]
+	tx := &fw.TxReq{
+		Pid: pid,
+		Hdr: req.Hdr,
+		Off: req.Off,
+		Len: req.Len,
+	}
+	if req.Region != nil {
+		tx.Buf = req.Region
+	}
+	creq := req
+	switch {
+	case req.RxOp != nil:
+		// A get reply: completing the transmission completes the target
+		// side of the get.
+		tx.Done = func(ok bool) { lib.ReplySent(creq.RxOp) }
+	case req.Hdr.Type == wire.TypePut:
+		tx.Done = func(ok bool) { lib.SendDone(creq, ok) }
+	default:
+		// Gets and acks carry no local completion semantics.
+		tx.Done = nil
+	}
+	d.submit(tx)
+}
+
+func (d *GenericDriver) submit(tx *fw.TxReq) {
+	if err := d.NIC.SubmitTx(tx); err != nil {
+		d.backlog = append(d.backlog, tx)
+	}
+}
+
+// fwEvent receives firmware events host-side (after the event's HT write)
+// and requests the interrupt that will process them. Multiple events
+// coalesce into one interrupt (§4.1).
+func (d *GenericDriver) fwEvent(ev fw.Event) {
+	d.evq = append(d.evq, ev)
+	d.K.RaiseInterrupt()
+}
+
+// drain is the interrupt handler: it processes every queued firmware event,
+// charging host cycles per event, and re-checks for events that arrived
+// while it ran before re-arming interrupts ("the Portals interrupt handler
+// processes all of the new events in the generic EQ each time it is
+// invoked", §4.1).
+func (d *GenericDriver) drain() {
+	if len(d.evq) == 0 {
+		d.K.InterruptDone()
+		return
+	}
+	ev := d.evq[0]
+	d.evq = d.evq[1:]
+	d.EventsHandled++
+	next := d.drain
+	if d.K.NoCoalesce {
+		// Ablation: one event per interrupt — finish after this event and
+		// let the pending raises take fresh interrupts.
+		next = func() { d.K.InterruptDone() }
+	}
+	if ev.Kind == fw.EvNewHeader {
+		// Header processing charges in two stages: the fixed matching cost
+		// runs before the library walk (whose events first become visible
+		// to applications), then the walk-dependent and command-building
+		// cost before the firmware command goes out.
+		d.K.KernelWork(d.P.HostMatchBaseCycles, func() {
+			cycles, apply := d.processHeader(ev)
+			d.K.KernelWork(cycles, func() {
+				apply()
+				next()
+			})
+		})
+		return
+	}
+	cycles, apply := d.process(ev)
+	d.K.KernelWork(cycles, func() {
+		apply()
+		next()
+	})
+}
+
+// process maps one firmware event to its host cost and its state change.
+// The cost is charged before apply runs, so downstream effects (commands,
+// application events) happen at the right time.
+func (d *GenericDriver) process(ev fw.Event) (cycles int64, apply func()) {
+	switch ev.Kind {
+	case fw.EvRxDone:
+		return d.P.HostEventCycles, func() {
+			if done := ev.Pending.Done(); done != nil {
+				done(ev.OK)
+			}
+			ev.Pending.Release()
+		}
+	case fw.EvTxDone:
+		return d.P.HostEventCycles, func() {
+			if ev.Tx.Done != nil {
+				ev.Tx.Done(ev.OK)
+			}
+			// A pending returned to the pool: retry backlogged sends.
+			for len(d.backlog) > 0 {
+				tx := d.backlog[0]
+				if err := d.NIC.SubmitTx(tx); err != nil {
+					break
+				}
+				d.backlog = d.backlog[1:]
+			}
+		}
+	}
+	return 0, func() {}
+}
+
+// processHeader performs the Portals processing for a new message header:
+// matching on the host (this is generic mode), then the receive command,
+// inline completion, reply transmission or discard. The fixed matching
+// cost was charged by the caller before this runs; the returned cycles
+// cover the walk-dependent and command-building work.
+func (d *GenericDriver) processHeader(ev fw.Event) (int64, func()) {
+	p := ev.Pending
+	hdr := p.Hdr
+	lib := d.libs[hdr.DstPid]
+	if lib == nil {
+		d.Drops++
+		return 0, func() {
+			if !p.Complete() {
+				p.Discard()
+			}
+			p.Release()
+		}
+	}
+	// Events the library posts during this message's processing wake
+	// their waiters only once the handler's apply phase completes, and the
+	// library is locked against API calls meanwhile (the kernel-lock
+	// serialization the receive protocols depend on).
+	lib.Lock()
+	lib.BeginDefer()
+	done := func(cycles int64, apply func()) (int64, func()) {
+		return cycles, func() {
+			apply()
+			lib.EndDefer()
+			lib.Unlock()
+		}
+	}
+	op := lib.Receive(&hdr)
+	if op == nil {
+		// An acknowledgment: the library posted the ACK event already.
+		return done(d.P.HostEventCycles, func() { p.Release() })
+	}
+	cycles := int64(op.Walked) * d.P.HostMatchPerME
+	if op.Drop {
+		d.Drops++
+		return done(cycles, func() {
+			if !p.Complete() {
+				p.Discard()
+			}
+			p.Release()
+		})
+	}
+	switch {
+	case op.Reply != nil:
+		// Get request: build and transmit the reply before the GET_START
+		// event becomes visible — one pass through the handler.
+		cycles += d.P.HostTxSetupCycles + d.P.HostGetReplyCycles + d.segCycles(op.Region, op.Off, op.MLen)
+		return done(cycles, func() {
+			d.send(hdr.DstPid, op.Reply)
+			p.Release()
+		})
+	case p.Complete():
+		// Whole payload arrived with the header (≤12 B inline): deposit
+		// from the upper pending and finish — one interrupt total.
+		cycles += d.P.HostEventCycles
+		return done(cycles, func() {
+			mlen := op.MLen
+			if mlen > len(p.Inline) {
+				mlen = len(p.Inline)
+			}
+			if mlen > 0 {
+				op.Region.WriteAt(op.Off, p.Inline[:mlen])
+			}
+			if ack := lib.Delivered(op, ev.OK); ack != nil {
+				d.send(hdr.DstPid, ack)
+			}
+			p.Release()
+		})
+	default:
+		// Payload follows: answer with the receive command. The host
+		// pre-computes per-page DMA commands for paged buffers (§3.3).
+		cycles += d.P.HostRxCmdCycles + d.segCycles(op.Region, op.Off, op.MLen)
+		return done(cycles, func() {
+			pid := hdr.DstPid
+			p.SubmitRx(op.Region, op.Off, op.MLen, func(ok bool) {
+				if ack := lib.Delivered(op, ok); ack != nil {
+					d.send(pid, ack)
+				}
+			})
+		})
+	}
+}
+
+// segCycles is the per-page DMA pre-computation cost for a buffer range.
+func (d *GenericDriver) segCycles(r core.Region, off, n int) int64 {
+	if r == nil || n == 0 || r.Segments() <= 1 {
+		return 0
+	}
+	page := int(d.P.PageBytes)
+	segs := (off+n-1)/page - off/page + 1
+	return int64(segs) * d.P.HostPerPageCycles
+}

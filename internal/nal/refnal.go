@@ -1,0 +1,101 @@
+package nal
+
+import (
+	"portals3/internal/core"
+	"portals3/internal/sim"
+	"portals3/internal/wire"
+)
+
+// RefNAL is the reference network abstraction layer: Portals with no
+// SeaStar underneath, the analogue of the reference implementation's
+// software NALs (§3.1: implementations existed for "nearly all possible
+// permutations of address spaces"). The paper closes §3.2 hoping the
+// bridge-style interface abstraction "will allow Portals to become more
+// widely used on different platforms" — this NAL is that claim made
+// concrete: the identical core.Lib semantics run over a simple
+// latency/bandwidth delay network with library processing in the caller's
+// address space.
+//
+// It is also the fastest way to run Portals programs when only semantics
+// matter: no firmware, no interrupts, no DMA model.
+type RefNAL struct {
+	S *sim.Sim
+	// Latency is the one-way message latency of the underlying transport.
+	Latency sim.Time
+	// Bps is the transport bandwidth in bytes/second.
+	Bps int64
+
+	libs map[core.ProcessID]*core.Lib
+}
+
+// NewRefNAL creates a reference network with the given delay model.
+func NewRefNAL(s *sim.Sim, latency sim.Time, bps int64) *RefNAL {
+	return &RefNAL{S: s, Latency: latency, Bps: bps, libs: make(map[core.ProcessID]*core.Lib)}
+}
+
+// AddProcess creates a Portals library attached to this NAL.
+func (n *RefNAL) AddProcess(id core.ProcessID, uid uint32, limits core.Limits) *core.Lib {
+	be := &refBackend{nal: n}
+	lib := core.NewLib(n.S, id, uid, limits, be)
+	be.lib = lib
+	n.libs[id] = lib
+	return lib
+}
+
+// refBackend implements core.Backend over the delay network.
+type refBackend struct {
+	nal *RefNAL
+	lib *core.Lib
+}
+
+// Distance reports 1 for every peer: the reference transport has no
+// topology.
+func (b *refBackend) Distance(uint32) int { return 1 }
+
+// Send delivers after latency + size/bandwidth, performing the remote
+// library's matching and data movement at arrival time — the reference
+// implementation's single-address-space shortcut.
+func (b *refBackend) Send(req *core.SendReq) {
+	n := b.nal
+	src := b.lib
+	delay := n.Latency + sim.BytesAt(int64(req.Len), n.Bps)
+	// Capture payload at send time (the reference NAL copies through an
+	// intermediate buffer rather than doing zero-copy DMA).
+	var payload []byte
+	if req.Region != nil && req.Len > 0 {
+		payload = make([]byte, req.Len)
+		req.Region.ReadAt(req.Off, payload)
+	}
+	creq := req
+	n.S.After(delay, func() {
+		dst, ok := n.libs[core.ProcessID{Nid: creq.Hdr.DstNid, Pid: creq.Hdr.DstPid}]
+		if !ok {
+			return // undeliverable
+		}
+		switch creq.Hdr.Type {
+		case wire.TypePut:
+			op := dst.ReceivePut(&creq.Hdr)
+			if !op.Drop {
+				op.Region.WriteAt(op.Off, payload[:op.MLen])
+				if ack := dst.Delivered(op, true); ack != nil {
+					(&refBackend{nal: n, lib: dst}).Send(ack)
+				}
+			}
+			src.SendDone(creq, true)
+		case wire.TypeGet:
+			op := dst.ReceiveGet(&creq.Hdr)
+			if !op.Drop {
+				(&refBackend{nal: n, lib: dst}).Send(op.Reply)
+				dst.ReplySent(op)
+			}
+		case wire.TypeReply:
+			op := dst.ReceiveReply(&creq.Hdr)
+			if !op.Drop {
+				op.Region.WriteAt(op.Off, payload[:op.MLen])
+				dst.Delivered(op, true)
+			}
+		case wire.TypeAck:
+			dst.ReceiveAck(&creq.Hdr)
+		}
+	})
+}

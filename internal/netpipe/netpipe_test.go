@@ -1,0 +1,189 @@
+package netpipe
+
+import (
+	"sort"
+	"testing"
+
+	"portals3/internal/machine"
+	"portals3/internal/model"
+	"portals3/internal/mpi"
+)
+
+// smallCfg keeps unit tests fast: sweeps stop at 64 KB.
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.MaxBytes = 64 << 10
+	return cfg
+}
+
+func TestSizesSchedule(t *testing.T) {
+	s := Sizes(64, 3)
+	if !sort.IntsAreSorted(s) {
+		t.Errorf("sizes not sorted: %v", s)
+	}
+	want := map[int]bool{1: true, 2: true, 3: true, 4: true, 7: true, 5: true,
+		8: true, 11: true, 13: true, 16: true, 19: true, 29: true, 32: true,
+		35: true, 61: true, 64: true}
+	for _, v := range s {
+		if !want[v] {
+			t.Errorf("unexpected size %d in %v", v, s)
+		}
+	}
+	for v := range want {
+		found := false
+		for _, got := range s {
+			if got == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing size %d in %v", v, s)
+		}
+	}
+	// No duplicates, never exceeding max.
+	seen := map[int]bool{}
+	for _, v := range s {
+		if seen[v] || v > 64 || v < 1 {
+			t.Errorf("bad schedule entry %d", v)
+		}
+		seen[v] = true
+	}
+	if got := Sizes(16, 0); len(got) != 6 { // 1,2,3,4,8,16
+		t.Errorf("perturbation-free schedule: %v", got)
+	}
+}
+
+func TestItersClampAndMonotonicity(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.iters(1) != cfg.MaxIters {
+		t.Errorf("tiny messages should hit MaxIters, got %d", cfg.iters(1))
+	}
+	if cfg.iters(8<<20) != cfg.MinIters {
+		t.Errorf("8MB should hit MinIters, got %d", cfg.iters(8<<20))
+	}
+	last := cfg.iters(1)
+	for s := 2; s <= 1<<20; s *= 2 {
+		n := cfg.iters(s)
+		if n > last {
+			t.Errorf("iters grew with size at %d", s)
+		}
+		last = n
+	}
+}
+
+func TestPortalsPingPongShape(t *testing.T) {
+	r := RunPortals(model.Defaults(), OpPut, PingPong, smallCfg())
+	if len(r.Points) != len(Sizes(64<<10, 3)) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Latency nondecreasing with size (within this range), bandwidth
+	// increasing at the top end.
+	if r.Points[0].Latency <= 0 {
+		t.Error("no latency measured")
+	}
+	last := r.Points[len(r.Points)-1]
+	first := r.Points[0]
+	if last.MBps <= first.MBps {
+		t.Error("bandwidth did not grow with message size")
+	}
+	if last.Latency < first.Latency {
+		t.Error("64KB latency below 1B latency")
+	}
+}
+
+func TestGetSlowerThanPutPingPong(t *testing.T) {
+	p := model.Defaults()
+	cfg := smallCfg()
+	put := RunPortals(p, OpPut, PingPong, cfg)
+	get := RunPortals(p, OpGet, PingPong, cfg)
+	if get.Points[0].Latency <= put.Points[0].Latency {
+		t.Errorf("get (%v) should be slower than put (%v) at 1 byte (§6)",
+			get.Points[0].Latency, put.Points[0].Latency)
+	}
+}
+
+func TestStreamBeatsPingPongBandwidth(t *testing.T) {
+	p := model.Defaults()
+	cfg := smallCfg()
+	pp := RunPortals(p, OpPut, PingPong, cfg)
+	st := RunPortals(p, OpPut, Stream, cfg)
+	at := func(r Result, bytes int) float64 {
+		for _, pt := range r.Points {
+			if pt.Bytes == bytes {
+				return pt.MBps
+			}
+		}
+		return -1
+	}
+	// "the graph is steeper for this curve than the ping-pong bandwidth
+	// results" (§6): streaming wins at mid sizes.
+	if stBW := at(st, 8192); stBW <= at(pp, 8192) {
+		t.Errorf("streaming (%0.f) should beat ping-pong (%0.f) at 8KB", stBW, at(pp, 8192))
+	}
+}
+
+func TestStreamGetCannotPipeline(t *testing.T) {
+	p := model.Defaults()
+	cfg := smallCfg()
+	put := RunPortals(p, OpPut, Stream, cfg)
+	get := RunPortals(p, OpGet, Stream, cfg)
+	for i := range put.Points {
+		if put.Points[i].Bytes == 4096 {
+			if get.Points[i].MBps >= put.Points[i].MBps {
+				t.Errorf("streaming get (%.0f) should trail put (%.0f) badly at 4KB (§6)",
+					get.Points[i].MBps, put.Points[i].MBps)
+			}
+		}
+	}
+}
+
+func TestBidirAggregatesBothDirections(t *testing.T) {
+	p := model.Defaults()
+	cfg := smallCfg()
+	uni := RunPortals(p, OpPut, PingPong, cfg)
+	bid := RunPortals(p, OpPut, Bidir, cfg)
+	last := len(uni.Points) - 1
+	if bid.Points[last].MBps < 1.5*uni.Points[last].MBps {
+		t.Errorf("bidir at 64KB (%.0f) should approach 2x uni (%.0f)",
+			bid.Points[last].MBps, uni.Points[last].MBps)
+	}
+}
+
+func TestMPIRunsAllPatterns(t *testing.T) {
+	p := model.Defaults()
+	cfg := smallCfg()
+	for _, pat := range []Pattern{PingPong, Stream, Bidir} {
+		r := RunMPI(p, mpi.MPICH1, pat, cfg)
+		if len(r.Points) == 0 {
+			t.Fatalf("%v produced no points", pat)
+		}
+		for _, pt := range r.Points {
+			if pt.MBps <= 0 && pt.Bytes > 0 {
+				t.Errorf("%v at %d B: zero bandwidth", pat, pt.Bytes)
+			}
+		}
+	}
+}
+
+func TestAcceleratedModeRuns(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Mode = machine.Accelerated
+	r := RunPortals(model.Defaults(), OpPut, PingPong, cfg)
+	if r.Points[0].Latency <= 0 {
+		t.Fatal("no measurement in accelerated mode")
+	}
+	cfg2 := smallCfg()
+	gen := RunPortals(model.Defaults(), OpPut, PingPong, cfg2)
+	if r.Points[0].Latency >= gen.Points[0].Latency {
+		t.Error("accelerated mode not faster at 1 byte")
+	}
+}
+
+func TestPatternAndOpStrings(t *testing.T) {
+	if PingPong.String() != "pingpong" || Stream.String() != "stream" || Bidir.String() != "bidir" {
+		t.Error("pattern names wrong")
+	}
+	if OpPut.String() != "put" || OpGet.String() != "get" {
+		t.Error("op names wrong")
+	}
+}

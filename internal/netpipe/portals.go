@@ -1,0 +1,289 @@
+package netpipe
+
+import (
+	"fmt"
+
+	"portals3/internal/core"
+	"portals3/internal/machine"
+	"portals3/internal/model"
+	"portals3/internal/sim"
+)
+
+// This file is the NetPIPE Portals module of paper §5.2: it "creates a
+// memory descriptor for receiving messages on a Portal with a single match
+// entry attached" and measures put and get operations in ping-pong,
+// streaming, and bi-directional patterns directly against the Portals API.
+
+const (
+	npPtl  = 5
+	npBits = 0x4E50 // "NP"
+)
+
+// npSide is one process's benchmark state.
+type npSide struct {
+	app    *machine.App
+	eq     core.EQHandle
+	rxBuf  core.Region
+	txBuf  core.Region
+	sendMD core.MDHandle
+	getMD  core.MDHandle
+	peer   core.ProcessID
+}
+
+// setup creates the module's Portals objects. The receive descriptor uses
+// a remotely managed offset so every message lands at offset zero — each
+// round overwrites the previous one, like NetPIPE's fixed receive buffer —
+// and allows both put and get so one descriptor serves every test.
+func npSetup(app *machine.App, maxBytes int, peer core.ProcessID, op Op) *npSide {
+	s := &npSide{app: app, peer: peer}
+	eq, err := app.API.EQAlloc(4096)
+	if err != nil {
+		panic(err)
+	}
+	s.eq = eq
+	me, err := app.API.MEAttach(npPtl, core.ProcessID{Nid: core.NidAny, Pid: core.PidAny},
+		npBits, 0, core.Retain, core.After)
+	if err != nil {
+		panic(err)
+	}
+	// The get tests keep START events enabled: GET_START (the header has
+	// been matched) is the turnaround trigger for the get ping-pong.
+	opts := core.MDOpPut | core.MDOpGet | core.MDManageRemote
+	if op == OpPut {
+		opts |= core.MDEventStartDisable
+	}
+	s.rxBuf = app.Alloc(maxBytes)
+	if _, err := app.API.MDAttach(me, core.MDesc{
+		Region:    s.rxBuf,
+		Threshold: core.ThresholdInfinite,
+		Options:   opts,
+		EQ:        eq,
+	}, core.Retain); err != nil {
+		panic(err)
+	}
+	s.txBuf = app.Alloc(maxBytes)
+	fill := make([]byte, maxBytes)
+	for i := range fill {
+		fill[i] = byte(i * 11)
+	}
+	s.txBuf.WriteAt(0, fill)
+	s.sendMD, err = app.API.MDBind(core.MDesc{
+		Region:    s.txBuf,
+		Threshold: core.ThresholdInfinite,
+		Options:   core.MDEventStartDisable,
+		EQ:        eq,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s.getMD, err = app.API.MDBind(core.MDesc{
+		Region:    s.rxBuf,
+		Threshold: core.ThresholdInfinite,
+		Options:   core.MDEventStartDisable,
+		EQ:        eq,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// wait blocks until the next event of type want, discarding others (the
+// module's event loop filters SEND_ENDs while waiting for data, exactly as
+// the C module's PtlEQWait loop does).
+func (s *npSide) wait(want core.EventType) core.Event {
+	for {
+		ev, err := s.app.API.EQWait(s.eq)
+		if err != nil && err != core.ErrEQDropped {
+			panic(fmt.Sprintf("netpipe: EQWait: %v", err))
+		}
+		if ev.Type == want {
+			return ev
+		}
+	}
+}
+
+// put sends n bytes to the peer.
+func (s *npSide) put(n int) {
+	if err := s.app.API.PutRegion(s.sendMD, 0, n, core.NoAck, s.peer, npPtl, npBits, 0, 0); err != nil {
+		panic(err)
+	}
+}
+
+// get pulls n bytes from the peer.
+func (s *npSide) get(n int) {
+	if err := s.app.API.GetRegion(s.getMD, 0, n, s.peer, npPtl, npBits, 0); err != nil {
+		panic(err)
+	}
+}
+
+// RunPortals measures one Portals-module curve over a fresh two-node
+// machine.
+func RunPortals(p model.Params, op Op, pat Pattern, cfg Config) Result {
+	m := machine.NewPair(p)
+	if cfg.Observe != nil {
+		cfg.Observe(m)
+	}
+	sizes := Sizes(cfg.MaxBytes, cfg.Perturbation)
+	var points []Point
+	gate := newStartGate(m.S, 2)
+
+	// Peer ids are filled in after both Spawn calls return (pids are
+	// assigned synchronously); the closures read them at run time.
+	var ids [2]core.ProcessID
+	run := func(rank int) func(app *machine.App) {
+		return func(app *machine.App) {
+			side := npSetup(app, cfg.MaxBytes, ids[1-rank], op)
+			gate.wait(app.Proc)
+			for _, sz := range sizes {
+				k := cfg.iters(sz)
+				var elapsed sim.Time
+				switch {
+				case op == OpPut && pat == PingPong:
+					elapsed = side.putPingPong(rank, sz, k)
+				case op == OpPut && pat == Stream:
+					elapsed = side.putStream(rank, sz, k)
+				case op == OpPut && pat == Bidir:
+					elapsed = side.putBidir(sz, k)
+				case op == OpGet && pat == PingPong:
+					elapsed = side.getPingPong(rank, sz, k)
+				case op == OpGet && pat == Stream:
+					elapsed = side.getStream(rank, sz, k)
+				case op == OpGet && pat == Bidir:
+					elapsed = side.getBidir(sz, k)
+				}
+				if rank == 0 {
+					per := 1
+					if pat != Stream {
+						per = 2 // ping-pong rounds and bidir exchanges move two messages
+					}
+					points = append(points, point(sz, k, elapsed, per, pat == PingPong))
+				}
+			}
+		}
+	}
+	app0, err := m.Spawn(0, "np0", cfg.Mode, run(0))
+	if err != nil {
+		panic(err)
+	}
+	app1, err := m.Spawn(1, "np1", cfg.Mode, run(1))
+	if err != nil {
+		panic(err)
+	}
+	ids[0], ids[1] = app0.ID(), app1.ID()
+	m.Run()
+	return Result{Series: op.String(), Pat: pat, Points: points}
+}
+
+// putPingPong: the classic alternating exchange; one warmup round, then k
+// timed rounds. Latency = elapsed / (2k).
+func (s *npSide) putPingPong(rank, sz, k int) sim.Time {
+	if rank == 0 {
+		s.put(sz)
+		s.wait(core.EventPutEnd)
+		t0 := s.app.Proc.Now()
+		for i := 0; i < k; i++ {
+			s.put(sz)
+			s.wait(core.EventPutEnd)
+		}
+		return s.app.Proc.Now() - t0
+	}
+	for i := 0; i < k+1; i++ {
+		s.wait(core.EventPutEnd)
+		s.put(sz)
+	}
+	return 0
+}
+
+// putStream: rank 0 fires k puts back to back, pacing only on local
+// SEND_END (buffer reuse); rank 1 acknowledges the full batch with one
+// zero-length put.
+func (s *npSide) putStream(rank, sz, k int) sim.Time {
+	if rank == 0 {
+		s.put(sz) // warmup
+		s.wait(core.EventSendEnd)
+		s.wait(core.EventPutEnd) // peer's ready signal
+		t0 := s.app.Proc.Now()
+		for i := 0; i < k; i++ {
+			s.put(sz)
+			s.wait(core.EventSendEnd)
+		}
+		s.wait(core.EventPutEnd) // batch acknowledgment
+		return s.app.Proc.Now() - t0
+	}
+	s.wait(core.EventPutEnd) // warmup
+	s.put(0)                 // ready
+	for i := 0; i < k; i++ {
+		s.wait(core.EventPutEnd)
+	}
+	s.put(0)
+	s.wait(core.EventSendEnd)
+	return 0
+}
+
+// putBidir: both sides put and wait for the incoming put each round.
+func (s *npSide) putBidir(sz, k int) sim.Time {
+	s.put(sz)
+	s.wait(core.EventPutEnd)
+	t0 := s.app.Proc.Now()
+	for i := 0; i < k; i++ {
+		s.put(sz)
+		s.wait(core.EventPutEnd)
+	}
+	return s.app.Proc.Now() - t0
+}
+
+// getPingPong: alternating pulls. Rank 0 gets from rank 1; rank 1, seeing
+// its data taken (GET_END), gets back. The handshakes pipeline, which is
+// why the paper's get latency is below a full get round trip.
+func (s *npSide) getPingPong(rank, sz, k int) sim.Time {
+	if rank == 0 {
+		s.get(sz)
+		s.wait(core.EventGetStart)
+		t0 := s.app.Proc.Now()
+		for i := 0; i < k; i++ {
+			s.get(sz)
+			s.wait(core.EventGetStart)
+		}
+		return s.app.Proc.Now() - t0
+	}
+	for i := 0; i < k+1; i++ {
+		s.wait(core.EventGetStart)
+		s.get(sz)
+	}
+	return 0
+}
+
+// getStream: rank 0 pulls repeatedly. A get is "a blocking operation (for
+// this benchmark) that cannot be pipelined" (§6): every iteration waits for
+// its reply.
+func (s *npSide) getStream(rank, sz, k int) sim.Time {
+	if rank != 0 {
+		// Passive data source; its descriptor answers gets by itself.
+		// Drain the block's events so the next block starts clean.
+		for i := 0; i < k+1; i++ {
+			s.wait(core.EventGetEnd)
+		}
+		return 0
+	}
+	s.get(sz)
+	s.wait(core.EventReplyEnd)
+	t0 := s.app.Proc.Now()
+	for i := 0; i < k; i++ {
+		s.get(sz)
+		s.wait(core.EventReplyEnd)
+	}
+	return s.app.Proc.Now() - t0
+}
+
+// getBidir: both sides pull simultaneously.
+func (s *npSide) getBidir(sz, k int) sim.Time {
+	s.get(sz)
+	s.wait(core.EventReplyEnd)
+	t0 := s.app.Proc.Now()
+	for i := 0; i < k; i++ {
+		s.get(sz)
+		s.wait(core.EventReplyEnd)
+	}
+	return s.app.Proc.Now() - t0
+}

@@ -1,0 +1,177 @@
+package oskernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"portals3/internal/model"
+	"portals3/internal/sim"
+)
+
+func kernels(t *testing.T) (*sim.Sim, *Kernel, *Kernel) {
+	t.Helper()
+	s := sim.New()
+	p := model.Defaults()
+	return s, New(s, &p, Catamount, 0), New(s, &p, Linux, 1)
+}
+
+func TestTrapCosts(t *testing.T) {
+	_, cat, lin := kernels(t)
+	if cat.TrapCost() != 75*sim.Nanosecond {
+		t.Errorf("Catamount trap = %v, want 75ns (§3.3)", cat.TrapCost())
+	}
+	if lin.TrapCost() <= cat.TrapCost() {
+		t.Error("Linux syscalls must cost more than Catamount traps")
+	}
+}
+
+func TestMemoryShapes(t *testing.T) {
+	_, cat, lin := kernels(t)
+	if segs := cat.NewRegion(1 << 20).Segments(); segs != 1 {
+		t.Errorf("Catamount 1MB region has %d segments, want 1 (§3.3)", segs)
+	}
+	if segs := lin.NewRegion(1 << 20).Segments(); segs != 256 {
+		t.Errorf("Linux 1MB region has %d segments, want 256 pages", segs)
+	}
+}
+
+func TestPagedRegionReadWrite(t *testing.T) {
+	_, _, lin := kernels(t)
+	r := lin.NewRegion(10000)
+	// Property: paged memory behaves exactly like flat memory.
+	f := func(off uint16, data []byte) bool {
+		o := int(off) % 9000
+		if len(data) > 1000 {
+			data = data[:1000]
+		}
+		r.WriteAt(o, data)
+		got := make([]byte, len(data))
+		r.ReadAt(o, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagedRegionSpansPages(t *testing.T) {
+	_, _, lin := kernels(t)
+	r := lin.NewRegion(3 * 4096)
+	span := make([]byte, 5000)
+	for i := range span {
+		span[i] = byte(i)
+	}
+	r.WriteAt(3000, span) // crosses two page boundaries
+	got := make([]byte, 5000)
+	r.ReadAt(3000, got)
+	if !bytes.Equal(got, span) {
+		t.Error("page-spanning write/read mismatch")
+	}
+}
+
+func TestPagedRegionOutOfRangePanics(t *testing.T) {
+	_, _, lin := kernels(t)
+	r := lin.NewRegion(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.ReadAt(90, make([]byte, 20))
+}
+
+func TestPinBookkeeping(t *testing.T) {
+	_, _, lin := kernels(t)
+	r := lin.NewRegion(100).(*pagedRegion)
+	if r.Pinned() {
+		t.Error("fresh region already pinned")
+	}
+	r.Pin()
+	if !r.Pinned() {
+		t.Error("Pin did not stick")
+	}
+}
+
+func TestInterruptCoalescing(t *testing.T) {
+	s, cat, _ := kernels(t)
+	handled := 0
+	cat.SetInterruptHandler(func() {
+		handled++
+		// A real handler drains and calls InterruptDone; hold it active
+		// for a while to absorb raises.
+		s.After(5*sim.Microsecond, cat.InterruptDone)
+	})
+	cat.RaiseInterrupt()
+	cat.RaiseInterrupt() // absorbed: handler scheduled but not yet done
+	s.After(20*sim.Microsecond, cat.RaiseInterrupt)
+	s.Run()
+	if handled != 2 {
+		t.Errorf("handler ran %d times, want 2", handled)
+	}
+	if cat.Interrupts != 2 || cat.Coalesced != 1 {
+		t.Errorf("interrupts=%d coalesced=%d, want 2/1", cat.Interrupts, cat.Coalesced)
+	}
+}
+
+func TestInterruptCostsTwoMicroseconds(t *testing.T) {
+	s, cat, _ := kernels(t)
+	var at sim.Time
+	cat.SetInterruptHandler(func() {
+		at = s.Now()
+		cat.InterruptDone()
+	})
+	cat.RaiseInterrupt()
+	s.Run()
+	if at != 2*sim.Microsecond {
+		t.Errorf("handler entered at %v, want 2µs (§3.3)", at)
+	}
+}
+
+func TestInterruptWithoutHandlerPanics(t *testing.T) {
+	_, cat, _ := kernels(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cat.RaiseInterrupt()
+}
+
+func TestAllocPidMonotonic(t *testing.T) {
+	_, cat, _ := kernels(t)
+	a, b := cat.AllocPid(), cat.AllocPid()
+	if a == b || b != a+1 {
+		t.Errorf("pids %d, %d", a, b)
+	}
+}
+
+func TestKernelWorkChargesCycles(t *testing.T) {
+	s, cat, _ := kernels(t)
+	var at sim.Time
+	cat.KernelWork(2000, func() { at = s.Now() }) // 2000 cycles @ 2 GHz = 1µs
+	s.Run()
+	if at != sim.Microsecond {
+		t.Errorf("work completed at %v, want 1µs", at)
+	}
+}
+
+func TestNoCoalesceTakesOneInterruptPerRaise(t *testing.T) {
+	s, cat, _ := kernels(t)
+	cat.NoCoalesce = true
+	handled := 0
+	cat.SetInterruptHandler(func() {
+		handled++
+		s.After(sim.Microsecond, cat.InterruptDone)
+	})
+	cat.RaiseInterrupt()
+	cat.RaiseInterrupt() // queued, not coalesced
+	cat.RaiseInterrupt()
+	s.Run()
+	if handled != 3 {
+		t.Errorf("handler ran %d times, want 3 (no coalescing)", handled)
+	}
+	if cat.Interrupts != 3 || cat.Coalesced != 0 {
+		t.Errorf("interrupts=%d coalesced=%d, want 3/0", cat.Interrupts, cat.Coalesced)
+	}
+}

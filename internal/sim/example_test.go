@@ -1,0 +1,41 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"portals3/internal/sim"
+)
+
+// Example shows the three building blocks every hardware model in this
+// repository uses: scheduled callbacks, coroutine processes, and serial
+// resources.
+func Example() {
+	s := sim.New()
+
+	// A serial resource: one job at a time, FIFO (a link, a bus, a CPU).
+	link := sim.NewServer(s, "link")
+
+	// A coroutine process: thread-like model code that sleeps in virtual
+	// time and can block on signals.
+	s.Go("producer", func(p *sim.Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10 * sim.Microsecond)
+			n := i
+			link.Submit(sim.BytesAt(2048, 2_500_000_000), func() {
+				fmt.Printf("%v: packet %d crossed the link\n", s.Now(), n)
+			})
+		}
+	})
+
+	// A plain callback.
+	s.After(50*sim.Microsecond, func() {
+		fmt.Printf("%v: timer fired\n", s.Now())
+	})
+
+	s.Run()
+	// Output:
+	// 10.82us: packet 1 crossed the link
+	// 20.82us: packet 2 crossed the link
+	// 30.82us: packet 3 crossed the link
+	// 50.00us: timer fired
+}

@@ -1,0 +1,157 @@
+package sim
+
+import "fmt"
+
+// Proc is a coroutine process: model code that needs a thread-like control
+// flow (the NetPIPE driver, an MPI rank, the firmware bring-up sequence)
+// runs as a Proc. Under the hood each Proc is a goroutine, but exactly one
+// goroutine — either the simulator loop or one process — is ever runnable,
+// so execution is strictly sequential and deterministic.
+//
+// A Proc may only interact with the simulator through its own methods
+// (Sleep, Yield, ...) and through Signal.Wait; calling them from any other
+// goroutine corrupts the handshake.
+type Proc struct {
+	s    *Sim
+	name string
+
+	resume chan struct{} // simulator -> process: you may run
+	parked chan struct{} // process -> simulator: I am blocked again
+	dead   bool
+}
+
+// Go spawns fn as a coroutine process starting at the current virtual time.
+// fn begins executing when the start event fires.
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		s:      s,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.procs++
+	go func() {
+		<-p.resume // wait for the start event
+		fn(p)
+		p.dead = true
+		p.s.procs--
+		p.parked <- struct{}{}
+	}()
+	s.After(0, p.wake)
+	return p
+}
+
+// wake transfers control to the process and blocks the simulator until the
+// process parks again (by sleeping, waiting, or finishing).
+func (p *Proc) wake() {
+	if p.dead {
+		panic("sim: waking dead process " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park returns control to the simulator and blocks until woken.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Sim { return p.s }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Sleep advances virtual time by d for this process. Other events run in
+// the meantime.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.s.After(d, p.wake)
+	p.park()
+}
+
+// Yield lets every other event scheduled for the current time run, then
+// resumes.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// String identifies the process in diagnostics.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
+
+// Signal is a broadcast condition variable for coroutine processes and
+// callback waiters. A typical use: a Portals event queue raises its signal
+// when the firmware posts an event, waking a process blocked in PtlEQWait.
+//
+// Signal has no memory: a Raise with no waiters is lost. Users must re-check
+// their predicate after waking (standard condition-variable discipline).
+type Signal struct {
+	s       *Sim
+	procs   []*Proc
+	callbks []func()
+}
+
+// NewSignal returns a signal bound to s.
+func NewSignal(s *Sim) *Signal { return &Signal{s: s} }
+
+// Wait blocks the calling process until the next Raise.
+func (g *Signal) Wait(p *Proc) {
+	g.procs = append(g.procs, p)
+	p.park()
+}
+
+// WaitTimeout blocks the calling process until the next Raise or until d has
+// elapsed, whichever comes first. It reports whether the signal was raised
+// (false means timeout). Pass Never for no timeout.
+func (g *Signal) WaitTimeout(p *Proc, d Time) bool {
+	if d == Never {
+		g.Wait(p)
+		return true
+	}
+	raised := false
+	fired := false
+	// The timer and the raise race; whichever runs first wakes the process
+	// and disarms the other.
+	wakeOnce := func(byRaise bool) {
+		if fired {
+			return
+		}
+		fired = true
+		raised = byRaise
+		p.wake()
+	}
+	g.callbks = append(g.callbks, func() { wakeOnce(true) })
+	g.s.After(d, func() { wakeOnce(false) })
+	p.park()
+	return raised
+}
+
+// Notify registers fn to be called (once, at Raise time) on the next Raise.
+// It is the callback analogue of Wait.
+func (g *Signal) Notify(fn func()) {
+	g.callbks = append(g.callbks, fn)
+}
+
+// Raise wakes every current waiter. Processes are woken in the order they
+// waited, at the current virtual time; callbacks run immediately.
+// Waiters that arrive during Raise are not woken (they wait for the next
+// Raise).
+func (g *Signal) Raise() {
+	procs := g.procs
+	cbs := g.callbks
+	g.procs = nil
+	g.callbks = nil
+	for _, fn := range cbs {
+		fn()
+	}
+	for _, p := range procs {
+		p.wake()
+	}
+}
+
+// HasWaiters reports whether any process or callback is currently waiting.
+func (g *Signal) HasWaiters() bool { return len(g.procs) > 0 || len(g.callbks) > 0 }

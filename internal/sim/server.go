@@ -1,0 +1,154 @@
+package sim
+
+// Server models a serial resource — something that does one piece of work
+// at a time, in submission order: a network link, one direction of the
+// HyperTransport bus, the single-threaded firmware CPU. Work submitted while
+// the server is busy queues behind the in-flight work (the queue is implicit
+// in the busyUntil horizon, which is exact for FIFO service).
+type Server struct {
+	s         *Sim
+	name      string
+	busyUntil Time
+
+	// Busy accumulates total occupied time, for utilization reporting.
+	Busy Time
+	// Jobs counts submissions.
+	Jobs uint64
+}
+
+// NewServer returns a serial resource named for diagnostics.
+func NewServer(s *Sim, name string) *Server {
+	return &Server{s: s, name: name}
+}
+
+// Name returns the server's diagnostic name.
+func (sv *Server) Name() string { return sv.name }
+
+// Submit enqueues work lasting d and schedules fn (which may be nil) at its
+// completion time, which is returned. Service is FIFO.
+func (sv *Server) Submit(d Time, fn func()) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := sv.busyUntil
+	if start < sv.s.now {
+		start = sv.s.now
+	}
+	done := start + d
+	sv.busyUntil = done
+	sv.Busy += d
+	sv.Jobs++
+	if fn != nil {
+		sv.s.At(done, fn)
+	}
+	return done
+}
+
+// SubmitAfter is Submit for work that cannot start before time t (for
+// example, a downstream pipeline stage that must wait for data to arrive).
+// It returns the completion time.
+func (sv *Server) SubmitAfter(t Time, d Time, fn func()) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := sv.busyUntil
+	if start < t {
+		start = t
+	}
+	if start < sv.s.now {
+		start = sv.s.now
+	}
+	done := start + d
+	sv.busyUntil = done
+	sv.Busy += d
+	sv.Jobs++
+	if fn != nil {
+		sv.s.At(done, fn)
+	}
+	return done
+}
+
+// FreeAt reports when the server next becomes idle (now if it already is).
+func (sv *Server) FreeAt() Time {
+	if sv.busyUntil < sv.s.now {
+		return sv.s.now
+	}
+	return sv.busyUntil
+}
+
+// Utilization returns Busy divided by the elapsed virtual time.
+func (sv *Server) Utilization() float64 {
+	if sv.s.now == 0 {
+		return 0
+	}
+	return float64(sv.Busy) / float64(sv.s.now)
+}
+
+// Credits is a counting semaphore with FIFO grant order, used for bounded
+// buffers with backpressure: the SeaStar RX FIFO grants space credits to the
+// incoming link, and the drain side returns them as the DMA engine moves
+// data to host memory. Grants are callbacks so hardware pipeline stages
+// (which are not coroutines) can block on space without a goroutine.
+type Credits struct {
+	s     *Sim
+	name  string
+	avail int64
+	cap   int64
+	queue []creditWaiter
+
+	// Waits counts grants that had to queue (a backpressure indicator).
+	Waits uint64
+}
+
+type creditWaiter struct {
+	n  int64
+	fn func()
+}
+
+// NewCredits returns a credit pool holding capacity credits.
+func NewCredits(s *Sim, name string, capacity int64) *Credits {
+	return &Credits{s: s, name: name, avail: capacity, cap: capacity}
+}
+
+// Take requests n credits and calls fn once they are granted (immediately,
+// at the current time, if available). Requests are granted strictly in FIFO
+// order: a large request at the head blocks smaller ones behind it, which is
+// exactly how a FIFO of DMA descriptors behaves.
+func (c *Credits) Take(n int64, fn func()) {
+	if n < 0 {
+		panic("sim: negative credit request")
+	}
+	if n > c.cap {
+		panic("sim: credit request exceeds capacity on " + c.name)
+	}
+	if len(c.queue) == 0 && c.avail >= n {
+		c.avail -= n
+		c.s.After(0, fn)
+		return
+	}
+	c.Waits++
+	c.queue = append(c.queue, creditWaiter{n: n, fn: fn})
+}
+
+// Put returns n credits and grants queued requests that now fit.
+func (c *Credits) Put(n int64) {
+	if n < 0 {
+		panic("sim: negative credit return")
+	}
+	c.avail += n
+	if c.avail > c.cap {
+		panic("sim: credit overflow on " + c.name)
+	}
+	for len(c.queue) > 0 && c.avail >= c.queue[0].n {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		c.avail -= w.n
+		c.s.After(0, w.fn)
+	}
+}
+
+// Available reports the free credits.
+func (c *Credits) Available() int64 { return c.avail }
+
+// Capacity reports the pool size.
+func (c *Credits) Capacity() int64 { return c.cap }

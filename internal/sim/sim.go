@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator: a virtual clock and an event heap.
+// It is not safe for concurrent use; all model code runs on the simulator's
+// goroutine (coroutine processes hand control back and forth, never run in
+// parallel).
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	rng     *rand.Rand
+
+	// Fired counts events executed, for diagnostics and runaway detection.
+	Fired uint64
+	// MaxEvents aborts the run (panic) when exceeded; 0 means no limit.
+	MaxEvents uint64
+
+	procs int // live coroutine processes, for deadlock diagnostics
+}
+
+// New returns a simulator with its clock at zero and a deterministic RNG.
+func New() *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(0x5ea57a7))}
+}
+
+// NewSeeded returns a simulator whose RNG is seeded with seed.
+func NewSeeded(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. Model code must
+// use this generator and no other so runs stay reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. A non-positive d runs fn on the next
+// dispatch at the current time (still after all work already queued for now).
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// step executes the next event. It reports false when no events remain.
+func (s *Sim) step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	if ev.at < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = ev.at
+	s.Fired++
+	if s.MaxEvents != 0 && s.Fired > s.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", s.MaxEvents, s.now))
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until the heap is empty or Stop is called.
+// If coroutine processes are still alive when the heap drains, they are
+// deadlocked (waiting on a signal nobody will raise); Run panics with a
+// diagnostic rather than silently returning.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+	if !s.stopped && s.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked with no pending events at %v", s.procs, s.now))
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then sets the clock to t.
+// Processes blocked past the horizon are left blocked; this is not a
+// deadlock.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// Pending reports how many events are queued.
+func (s *Sim) Pending() int { return len(s.events) }

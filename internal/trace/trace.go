@@ -1,0 +1,140 @@
+// Package trace records simulation activity as a Chrome trace-event file
+// (the chrome://tracing / Perfetto JSON format), giving the simulated
+// machine the kind of timeline observability the real Red Storm team got
+// from their RAS and firmware counters — per-node tracks for interrupts,
+// firmware handlers and message lifecycles, on a virtual-time axis.
+//
+// Tracing is off by default and enabled per machine
+// (machine.EnableTracing); components carry an optional *Tracer and emit
+// through nil-safe methods, so the disabled path costs one pointer test.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"portals3/internal/sim"
+)
+
+// Record is one trace event. Fields map onto the Chrome trace-event
+// format: Ph is the phase ("X" complete with duration, "i" instant).
+type Record struct {
+	Name string
+	Cat  string
+	Ph   string
+	TS   sim.Time // event start
+	Dur  sim.Time // for "X" records
+	PID  int      // node id (one Chrome "process" per node)
+	TID  int      // track within the node
+	Args map[string]interface{}
+}
+
+// Well-known track ids within a node's group.
+const (
+	TrackHost = iota // host CPU: interrupts, driver work
+	TrackPPC         // firmware handlers
+	TrackWire        // message arrivals/injections
+	TrackApp         // application-visible events
+)
+
+// Tracer accumulates records. The zero value is valid and enabled; a nil
+// *Tracer is valid and disabled — every method is nil-safe.
+type Tracer struct {
+	records []Record
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Instant records a point event.
+func (t *Tracer) Instant(node int, track int, cat, name string, ts sim.Time, args map[string]interface{}) {
+	if t == nil {
+		return
+	}
+	t.records = append(t.records, Record{
+		Name: name, Cat: cat, Ph: "i", TS: ts, PID: node, TID: track, Args: args,
+	})
+}
+
+// Span records a duration event.
+func (t *Tracer) Span(node int, track int, cat, name string, ts, dur sim.Time, args map[string]interface{}) {
+	if t == nil {
+		return
+	}
+	t.records = append(t.records, Record{
+		Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: node, TID: track, Args: args,
+	})
+}
+
+// Len reports how many records were captured.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.records)
+}
+
+// Records returns a copy of the captured records (tests and analyzers).
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	return append([]Record(nil), t.records...)
+}
+
+// chromeEvent is the on-disk JSON shape.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`            // microseconds
+	Dur  float64                `json:"dur,omitempty"` // microseconds
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"` // instant scope
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome emits the trace as a Chrome trace-event JSON array, with
+// metadata naming each node's process and tracks.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}
+	var out []interface{}
+	seen := map[int]bool{}
+	trackNames := map[int]string{
+		TrackHost: "host-cpu", TrackPPC: "seastar-ppc", TrackWire: "wire", TrackApp: "app",
+	}
+	for _, r := range t.records {
+		if !seen[r.PID] {
+			seen[r.PID] = true
+			out = append(out, map[string]interface{}{
+				"name": "process_name", "ph": "M", "pid": r.PID,
+				"args": map[string]string{"name": fmt.Sprintf("node %d", r.PID)},
+			})
+			for tid, tn := range trackNames {
+				out = append(out, map[string]interface{}{
+					"name": "thread_name", "ph": "M", "pid": r.PID, "tid": tid,
+					"args": map[string]string{"name": tn},
+				})
+			}
+		}
+		ev := chromeEvent{
+			Name: r.Name, Cat: r.Cat, Ph: r.Ph,
+			TS: r.TS.Micros(), Dur: r.Dur.Micros(),
+			PID: r.PID, TID: r.TID, Args: r.Args,
+		}
+		if r.Ph == "i" {
+			ev.S = "t"
+		}
+		out = append(out, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"portals3/internal/sim"
+)
+
+func TestNilTracerIsSafeAndDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer claims enabled")
+	}
+	tr.Instant(0, TrackHost, "x", "y", 0, nil) // must not panic
+	tr.Span(0, TrackPPC, "x", "y", 0, sim.Microsecond, nil)
+	if tr.Len() != 0 || tr.Records() != nil {
+		t.Error("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]" {
+		t.Errorf("nil trace file = %q", buf.String())
+	}
+}
+
+func TestRecordsAndChromeFormat(t *testing.T) {
+	tr := New()
+	tr.Instant(3, TrackWire, "net", "rx hdr", 5390*sim.Nanosecond, map[string]interface{}{"msg": 1})
+	tr.Span(3, TrackPPC, "fw", "rx-header", 6*sim.Microsecond, 600*sim.Nanosecond, nil)
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var foundInstant, foundSpan, foundMeta bool
+	for _, ev := range out {
+		switch ev["ph"] {
+		case "i":
+			foundInstant = true
+			if ev["ts"].(float64) != 5.39 {
+				t.Errorf("instant ts = %v, want 5.39 us", ev["ts"])
+			}
+		case "X":
+			foundSpan = true
+			if ev["dur"].(float64) != 0.6 {
+				t.Errorf("span dur = %v, want 0.6 us", ev["dur"])
+			}
+		case "M":
+			foundMeta = true
+		}
+	}
+	if !foundInstant || !foundSpan || !foundMeta {
+		t.Errorf("missing record kinds: i=%v X=%v M=%v", foundInstant, foundSpan, foundMeta)
+	}
+}
+
+func TestRecordsReturnsCopy(t *testing.T) {
+	tr := New()
+	tr.Instant(0, TrackApp, "a", "b", 0, nil)
+	recs := tr.Records()
+	recs[0].Name = "mutated"
+	if tr.Records()[0].Name != "b" {
+		t.Error("Records exposed internal storage")
+	}
+}

@@ -1,0 +1,168 @@
+// Package wire defines the on-the-wire format of Portals messages on the
+// simulated SeaStar network: the 64-byte header packet layout (52 bytes of
+// header plus up to 12 bytes of inline user data — the small-message
+// optimization of paper §6), the end-to-end 32-bit CRC and the link-level
+// 16-bit CRC (paper §2).
+//
+// Messages in this repository carry real bytes: headers are genuinely
+// encoded and decoded, CRCs are genuinely computed, and payload corruption
+// injected by tests is genuinely detected.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// MsgType distinguishes the four Portals wire operations.
+type MsgType uint8
+
+// Wire message types. The first four are Portals operations; the Fc types
+// are NIC-level flow control frames consumed entirely by the firmware
+// (they exist for the go-back-n resource exhaustion recovery protocol the
+// paper describes as in-progress work, §4.3).
+const (
+	TypePut    MsgType = iota + 1 // one-sided put (data follows header)
+	TypeGet                       // get request (no payload)
+	TypeReply                     // get reply (data follows header)
+	TypeAck                       // put acknowledgment (no payload)
+	TypeFcAck                     // firmware flow control: cumulative ack
+	TypeFcNack                    // firmware flow control: go-back-n nack
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypePut:
+		return "PUT"
+	case TypeGet:
+		return "GET"
+	case TypeReply:
+		return "REPLY"
+	case TypeAck:
+		return "ACK"
+	case TypeFcAck:
+		return "FC_ACK"
+	case TypeFcNack:
+		return "FC_NACK"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// HeaderBytes is the encoded header size. Together with InlineMax bytes of
+// user data it fills exactly one 64-byte router packet.
+const HeaderBytes = 52
+
+// InlineMax is the user payload that fits in the header packet: "12 bytes of
+// user data will fit in the 64 byte header packet" (paper §6).
+const InlineMax = 12
+
+// PacketBytes is the router packet size (paper §2).
+const PacketBytes = 64
+
+// Header is the Portals message header carried in the first packet of every
+// message. Field names follow the Portals 3.3 specification.
+type Header struct {
+	Type      MsgType
+	PtlIndex  uint8  // destination portal table index
+	InlineLen uint8  // bytes of user data carried inline in the header packet
+	AckReq    uint8  // nonzero when the initiator wants an ACK (puts only)
+	SrcNid    uint32 // initiator node
+	SrcPid    uint32 // initiator process
+	DstNid    uint32 // target node
+	DstPid    uint32 // target process
+	MatchBits uint64 // matched against ME match/ignore bits at the target
+	Length    uint32 // payload length (bytes requested, for gets)
+	Offset    uint32 // remote managed offset (or get source offset)
+	MDHandle  uint32 // initiator MD, echoed in replies and acks
+	UID       uint32 // user id, checked against the target ACL
+	HdrData   uint64 // opaque 64-bit header data delivered in the event
+}
+
+// Encode writes the header into buf, which must be at least HeaderBytes.
+func (h *Header) Encode(buf []byte) {
+	_ = buf[HeaderBytes-1]
+	buf[0] = byte(h.Type)
+	buf[1] = h.PtlIndex
+	buf[2] = h.InlineLen
+	buf[3] = h.AckReq
+	le := binary.LittleEndian
+	le.PutUint32(buf[4:], h.SrcNid)
+	le.PutUint32(buf[8:], h.SrcPid)
+	le.PutUint32(buf[12:], h.DstNid)
+	le.PutUint32(buf[16:], h.DstPid)
+	le.PutUint64(buf[20:], h.MatchBits)
+	le.PutUint32(buf[28:], h.Length)
+	le.PutUint32(buf[32:], h.Offset)
+	le.PutUint32(buf[36:], h.MDHandle)
+	le.PutUint32(buf[40:], h.UID)
+	le.PutUint64(buf[44:], h.HdrData)
+}
+
+// Decode reads the header from buf, which must be at least HeaderBytes.
+func (h *Header) Decode(buf []byte) {
+	_ = buf[HeaderBytes-1]
+	h.Type = MsgType(buf[0])
+	h.PtlIndex = buf[1]
+	h.InlineLen = buf[2]
+	h.AckReq = buf[3]
+	le := binary.LittleEndian
+	h.SrcNid = le.Uint32(buf[4:])
+	h.SrcPid = le.Uint32(buf[8:])
+	h.DstNid = le.Uint32(buf[12:])
+	h.DstPid = le.Uint32(buf[16:])
+	h.MatchBits = le.Uint64(buf[20:])
+	h.Length = le.Uint32(buf[28:])
+	h.Offset = le.Uint32(buf[32:])
+	h.MDHandle = le.Uint32(buf[36:])
+	h.UID = le.Uint32(buf[40:])
+	h.HdrData = le.Uint64(buf[44:])
+}
+
+func (h *Header) String() string {
+	return fmt.Sprintf("%v %d:%d->%d:%d ptl=%d mb=%#x len=%d off=%d",
+		h.Type, h.SrcNid, h.SrcPid, h.DstNid, h.DstPid, h.PtlIndex, h.MatchBits, h.Length, h.Offset)
+}
+
+// HasPayload reports whether this message type carries payload beyond the
+// header packet.
+func (h *Header) HasPayload() bool { return h.Type == TypePut || h.Type == TypeReply }
+
+// CRC32 is the end-to-end checksum the DMA engines compute over the whole
+// message (header + payload): "hardware support for an end-to-end 32 bit
+// CRC check" (paper §2).
+func CRC32(hdr *Header, payload []byte) uint32 {
+	var buf [HeaderBytes]byte
+	hdr.Encode(buf[:])
+	c := crc32.ChecksumIEEE(buf[:])
+	return crc32.Update(c, crc32.IEEETable, payload)
+}
+
+// crc16Table is the CCITT polynomial table used by the per-link check:
+// "a 16 bit CRC check (with retries) that is performed on each of the
+// individual links" (paper §2).
+var crc16Table [256]uint16
+
+func init() {
+	const poly = 0x1021
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16Table[i] = crc
+	}
+}
+
+// CRC16 computes the CCITT link-level checksum of one packet's bytes.
+func CRC16(p []byte) uint16 {
+	var crc uint16 = 0xFFFF
+	for _, b := range p {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderFitsInPacket(t *testing.T) {
+	if HeaderBytes+InlineMax != PacketBytes {
+		t.Fatalf("header (%d) + inline (%d) must fill one %d-byte packet exactly",
+			HeaderBytes, InlineMax, PacketBytes)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(typ uint8, ptl, inl, ack uint8, snid, spid, dnid, dpid uint32,
+		mb uint64, length, off, md, uid uint32, hd uint64) bool {
+		h := Header{
+			Type: MsgType(typ%4 + 1), PtlIndex: ptl, InlineLen: inl, AckReq: ack,
+			SrcNid: snid, SrcPid: spid, DstNid: dnid, DstPid: dpid,
+			MatchBits: mb, Length: length, Offset: off, MDHandle: md,
+			UID: uid, HdrData: hd,
+		}
+		var buf [HeaderBytes]byte
+		h.Encode(buf[:])
+		var g Header
+		g.Decode(buf[:])
+		return g == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	cases := map[MsgType]string{TypePut: "PUT", TypeGet: "GET", TypeReply: "REPLY", TypeAck: "ACK", MsgType(9): "MsgType(9)"}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestHasPayload(t *testing.T) {
+	for typ, want := range map[MsgType]bool{TypePut: true, TypeReply: true, TypeGet: false, TypeAck: false} {
+		h := Header{Type: typ}
+		if h.HasPayload() != want {
+			t.Errorf("HasPayload(%v) = %v", typ, !want)
+		}
+	}
+}
+
+func TestCRC32DetectsCorruption(t *testing.T) {
+	h := Header{Type: TypePut, SrcNid: 1, DstNid: 2, Length: 8, MatchBits: 0xdead}
+	payload := []byte("12345678")
+	sum := CRC32(&h, payload)
+	// Flip one payload bit.
+	payload[3] ^= 0x10
+	if CRC32(&h, payload) == sum {
+		t.Error("CRC32 failed to detect payload corruption")
+	}
+	payload[3] ^= 0x10
+	// Flip one header field.
+	h.MatchBits ^= 1
+	if CRC32(&h, payload) == sum {
+		t.Error("CRC32 failed to detect header corruption")
+	}
+}
+
+func TestCRC16KnownVectorAndDetection(t *testing.T) {
+	// CCITT-FALSE of "123456789" is the classic 0x29B1 check value.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16 check value = %#x, want 0x29B1", got)
+	}
+	f := func(data []byte, i uint16, bit uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		sum := CRC16(data)
+		j := int(i) % len(data)
+		data[j] ^= 1 << (bit % 8)
+		changed := CRC16(data) != sum
+		data[j] ^= 1 << (bit % 8)
+		return changed // single-bit errors are always detected by CRC-CCITT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderStringMentionsEndpoints(t *testing.T) {
+	h := Header{Type: TypeGet, SrcNid: 3, SrcPid: 7, DstNid: 9, DstPid: 1}
+	s := h.String()
+	if len(s) == 0 || s[:3] != "GET" {
+		t.Errorf("String() = %q", s)
+	}
+}
