@@ -1,0 +1,33 @@
+# Stdlib-only Go; these targets just bundle the usual invocations.
+
+.PHONY: all build test race vet bench figures check check-fast
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# Substrate microbenchmarks (event kernel + one full put).
+bench:
+	go test -run xxx -bench 'SimulatorEventThroughput$$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut' -benchmem .
+
+# Every paper figure, one iteration each.
+figures:
+	go test -run xxx -bench 'Figure' -benchtime 1x -benchmem .
+
+# The pre-commit gate: vet + build + race tests + substrate benchmarks
+# against the committed BENCH_substrate.json baselines.
+check:
+	sh scripts/check.sh
+
+check-fast:
+	sh scripts/check.sh -fast

@@ -177,8 +177,10 @@ func BenchmarkAblationGoBackN(b *testing.B) {
 }
 
 // BenchmarkSimulatorEventThroughput measures the substrate itself: how
-// many simulator events per second of host time the kernel dispatches.
+// many simulator events per second of host time the kernel dispatches
+// through the timed (heap) lane.
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	var tick func()
 	n := 0
@@ -193,9 +195,67 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkSimulatorZeroDelayLane measures the same-timestamp FIFO fast
+// lane: After(0) handler chaining, the dominant scheduling pattern in the
+// firmware and fabric models (credit grants, posted writes, pipelines).
+func BenchmarkSimulatorZeroDelayLane(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(0, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.Run()
+}
+
+// BenchmarkSimulatorEventThroughputDeep dispatches through a heap kept
+// 1024 events deep, exercising the 4-ary sift paths a loaded machine sees
+// (thousands of in-flight chunks, credits and timers).
+func BenchmarkSimulatorEventThroughputDeep(b *testing.B) {
+	b.ReportAllocs()
+	const depth = 1024
+	s := sim.New()
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired >= b.N {
+			s.Stop()
+			return
+		}
+		s.After(depth*sim.Nanosecond, tick)
+	}
+	for i := 0; i < depth; i++ {
+		s.After(sim.Time(i+1)*sim.Nanosecond, tick)
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkFigure4LatencySequential is the parallel-driver baseline: the
+// identical Figure 4 workload with the worker pool forced to one worker.
+// Comparing it against BenchmarkFigure4Latency (which uses GOMAXPROCS
+// workers) isolates the driver's wall-clock gain; the rendered tables are
+// byte-identical either way.
+func BenchmarkFigure4LatencySequential(b *testing.B) {
+	defer func(old int) { experiments.Parallelism = old }(experiments.Parallelism)
+	experiments.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure4(model.Defaults())
+		b.ReportMetric(latencyAt(f, "put", 1), "put_us")
+	}
+}
+
 // BenchmarkSimulatedPut measures host wall time per fully simulated
 // 1-byte put (the cost of one end-to-end message through every layer).
 func BenchmarkSimulatedPut(b *testing.B) {
+	b.ReportAllocs()
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = 1
 	cfg.MinIters = b.N

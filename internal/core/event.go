@@ -112,8 +112,10 @@ func (q *EQ) insert(ev Event) {
 		q.ring[(q.head+q.count)%len(q.ring)] = ev
 		q.count++
 	}
-	q.lib.Trace.Instant(int(q.lib.id.Nid), trace.TrackApp, "portals", ev.Type.String(), q.lib.sim.Now(),
-		map[string]interface{}{"pid": q.lib.id.Pid, "mlen": ev.MLength, "seq": ev.Sequence})
+	if q.lib.Trace.Enabled() {
+		q.lib.Trace.Instant(int(q.lib.id.Nid), trace.TrackApp, "portals", ev.Type.String(), q.lib.sim.Now(),
+			map[string]interface{}{"pid": q.lib.id.Pid, "mlen": ev.MLength, "seq": ev.Sequence})
+	}
 	q.signal.Raise()
 }
 

@@ -79,6 +79,15 @@ type Lib struct {
 	deferred  []deferredEvent
 	locked    bool
 	lockSig   *sim.Signal
+	// Free lists for the per-message bookkeeping structures. Receive
+	// operations are recycled at their terminal calls (Delivered,
+	// ReplySent); send requests when transmission completes (SendDone) or
+	// when the driver hands one back (FreeSendReq). Dropped operations are
+	// simply left to the garbage collector.
+	opFree  []*RxOp
+	reqFree []*SendReq
+	meFree  []*me
+	mdFree  []*md
 	// DropCounts tallies drops by reason, for tests and diagnostics.
 	DropCounts [DropCRC + 1]uint64
 }
@@ -261,10 +270,12 @@ func (l *Lib) BeginDefer() { l.deferWake = true }
 func (l *Lib) EndDefer() {
 	l.deferWake = false
 	evs := l.deferred
-	l.deferred = nil
 	for _, d := range evs {
 		d.q.insert(d.ev)
 	}
+	// Delivery runs with deferWake off, so nothing appended meanwhile:
+	// rewind in place and keep the buffer's capacity for the next message.
+	l.deferred = evs[:0]
 }
 
 // drop records a dropped incoming message.

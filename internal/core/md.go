@@ -57,7 +57,15 @@ func (l *Lib) newMD(d MDesc, unlink Unlink) (*md, error) {
 	if err := l.validateMDesc(&d); err != nil {
 		return nil, err
 	}
-	m := &md{desc: d, threshold: d.Threshold, unlink: unlink}
+	var m *md
+	if n := len(l.mdFree); n > 0 {
+		m = l.mdFree[n-1]
+		l.mdFree[n-1] = nil
+		l.mdFree = l.mdFree[:n-1]
+		*m = md{desc: d, threshold: d.Threshold, unlink: unlink}
+	} else {
+		m = &md{desc: d, threshold: d.Threshold, unlink: unlink}
+	}
 	// A zero threshold means the descriptor starts inactive.
 	m.exhausted = d.Threshold == 0
 	h, err := l.mds.alloc(m)
@@ -113,7 +121,10 @@ func (l *Lib) MDUnlink(h MDHandle) error {
 	return nil
 }
 
-// destroyMD detaches and releases the descriptor.
+// destroyMD detaches and releases the descriptor. The struct joins the free
+// list but keeps its fields until reused — completion paths that unlink via
+// maybeAutoUnlink still read desc and handle to post their final events, and
+// no allocation can intervene before they finish.
 func (l *Lib) destroyMD(m *md) {
 	if m.dead {
 		return
@@ -124,6 +135,7 @@ func (l *Lib) destroyMD(m *md) {
 		m.me = nil
 	}
 	l.mds.release(uint32(m.handle))
+	l.mdFree = append(l.mdFree, m)
 }
 
 // MDUpdate atomically replaces a descriptor's definition (PtlMDUpdate).

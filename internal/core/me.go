@@ -21,6 +21,21 @@ type me struct {
 	unlinked   bool
 }
 
+// newME takes an entry from the free list, reset and initialized, or
+// allocates one. Entries return to the list in removeME; handles are
+// generation-checked by the slot table, so a recycled entry's old handles
+// resolve to nothing.
+func (l *Lib) newME(ptl int, matchID ProcessID, matchBits, ignoreBits uint64, unlink Unlink) *me {
+	if n := len(l.meFree); n > 0 {
+		e := l.meFree[n-1]
+		l.meFree[n-1] = nil
+		l.meFree = l.meFree[:n-1]
+		*e = me{ptl: ptl, matchID: matchID, matchBits: matchBits, ignoreBits: ignoreBits, unlink: unlink}
+		return e
+	}
+	return &me{ptl: ptl, matchID: matchID, matchBits: matchBits, ignoreBits: ignoreBits, unlink: unlink}
+}
+
 // matches implements the Portals matching rule: all header match bits not
 // masked by ignoreBits must equal the entry's matchBits, and the sender must
 // satisfy the (possibly wildcarded) source id.
@@ -39,7 +54,7 @@ func (l *Lib) MEAttach(ptl int, matchID ProcessID, matchBits, ignoreBits uint64,
 	if entry.count >= l.limits.MaxMEList {
 		return MEHandle(InvalidHandle), ErrMEListTooLong
 	}
-	e := &me{ptl: ptl, matchID: matchID, matchBits: matchBits, ignoreBits: ignoreBits, unlink: unlink}
+	e := l.newME(ptl, matchID, matchBits, ignoreBits, unlink)
 	h, err := l.mes.alloc(e)
 	if err != nil {
 		return MEHandle(InvalidHandle), err
@@ -96,7 +111,7 @@ func (l *Lib) MEInsert(base MEHandle, matchID ProcessID, matchBits, ignoreBits u
 	if entry.count >= l.limits.MaxMEList {
 		return MEHandle(InvalidHandle), ErrMEListTooLong
 	}
-	e := &me{ptl: b.ptl, matchID: matchID, matchBits: matchBits, ignoreBits: ignoreBits, unlink: unlink}
+	e := l.newME(b.ptl, matchID, matchBits, ignoreBits, unlink)
 	h, err := l.mes.alloc(e)
 	if err != nil {
 		return MEHandle(InvalidHandle), err
@@ -164,6 +179,7 @@ func (l *Lib) removeME(e *me) {
 	e.unlinked = true
 	e.md = nil
 	l.mes.release(uint32(e.handle))
+	l.meFree = append(l.meFree, e)
 }
 
 // MEList returns the handles on portal index ptl in match order, a

@@ -37,6 +37,47 @@ func initiator(h *wire.Header) ProcessID {
 	return ProcessID{Nid: h.SrcNid, Pid: h.SrcPid}
 }
 
+// newRxOp takes a receive operation from the free list, reset and primed
+// with the header, or allocates one.
+func (l *Lib) newRxOp(hdr *wire.Header) *RxOp {
+	if n := len(l.opFree); n > 0 {
+		op := l.opFree[n-1]
+		l.opFree[n-1] = nil
+		l.opFree = l.opFree[:n-1]
+		*op = RxOp{Hdr: *hdr, RLen: int(hdr.Length)}
+		return op
+	}
+	return &RxOp{Hdr: *hdr, RLen: int(hdr.Length)}
+}
+
+// freeRxOp recycles an operation after its terminal call. The struct is
+// reset on reuse, not here, so callers may still read fields they extracted.
+func (l *Lib) freeRxOp(op *RxOp) {
+	l.opFree = append(l.opFree, op)
+}
+
+// newSendReq takes a zeroed send request from the free list or allocates
+// one.
+func (l *Lib) newSendReq() *SendReq {
+	if n := len(l.reqFree); n > 0 {
+		r := l.reqFree[n-1]
+		l.reqFree[n-1] = nil
+		l.reqFree = l.reqFree[:n-1]
+		return r
+	}
+	return &SendReq{}
+}
+
+// FreeSendReq returns a send request to the pool. Drivers call it for
+// requests with no library completion (gets, acks, and replies after
+// ReplySent) once the transmit command has been built; requests that end in
+// SendDone are recycled there. Backends that keep requests alive past those
+// points (the reference NAL's deferred delivery) simply never call it.
+func (l *Lib) FreeSendReq(r *SendReq) {
+	*r = SendReq{}
+	l.reqFree = append(l.reqFree, r)
+}
+
 // ---- Initiator-side operations ----
 
 // Put transmits the descriptor's entire memory to the target (PtlPut).
@@ -96,7 +137,13 @@ func (l *Lib) PutRegion(mdh MDHandle, localOffset, length int, ack AckReq,
 	}
 	l.status[SRSendCount]++
 	l.status[SRSendLength] += uint64(length)
-	l.backend.Send(&SendReq{Hdr: hdr, Region: m.desc.Region, Off: localOffset, Len: length, MD: mdh})
+	r := l.newSendReq()
+	r.Hdr = hdr
+	r.Region = m.desc.Region
+	r.Off = localOffset
+	r.Len = length
+	r.MD = mdh
+	l.backend.Send(r)
 	return nil
 }
 
@@ -145,7 +192,10 @@ func (l *Lib) GetRegion(mdh MDHandle, localOffset, length int, target ProcessID,
 		UID:       l.uid,
 		HdrData:   uint64(localOffset),
 	}
-	l.backend.Send(&SendReq{Hdr: hdr, MD: mdh})
+	r := l.newSendReq()
+	r.Hdr = hdr
+	r.MD = mdh
+	l.backend.Send(r)
 	return nil
 }
 
@@ -169,6 +219,7 @@ func (l *Lib) SendDone(req *SendReq, ok bool) {
 			q.post(Event{Type: EventUnlink, Initiator: l.id, MD: req.MD, User: m.desc.User})
 		}
 	}
+	l.FreeSendReq(req)
 }
 
 // ---- Target-side operations ----
@@ -204,7 +255,7 @@ func (l *Lib) matchWalk(ptl int, bits uint64, src ProcessID) (e *me, walked int,
 
 // receiveTarget performs the target-side checks shared by puts and gets.
 func (l *Lib) receiveTarget(hdr *wire.Header, needOp MDOptions) *RxOp {
-	op := &RxOp{Hdr: *hdr, RLen: int(hdr.Length)}
+	op := l.newRxOp(hdr)
 	src := initiator(hdr)
 	ptl := int(hdr.PtlIndex)
 	reject := func(r DropReason) *RxOp {
@@ -289,27 +340,27 @@ func (l *Lib) ReceiveGet(hdr *wire.Header) *RxOp {
 	}
 	op.evEnd = EventGetEnd
 	l.postStart(op, EventGetStart)
-	op.Reply = &SendReq{
-		Hdr: wire.Header{
-			Type:      wire.TypeReply,
-			SrcNid:    l.id.Nid,
-			SrcPid:    l.id.Pid,
-			DstNid:    hdr.SrcNid,
-			DstPid:    hdr.SrcPid,
-			PtlIndex:  hdr.PtlIndex,
-			MatchBits: hdr.MatchBits,
-			Length:    uint32(op.MLen),
-			Offset:    uint32(op.Off),
-			MDHandle:  hdr.MDHandle,
-			UID:       l.uid,
-			HdrData:   hdr.HdrData, // echoes the initiator's local offset
-		},
-		Region: op.Region,
-		Off:    op.Off,
-		Len:    op.MLen,
-		MD:     NoMD,
-		RxOp:   op,
+	r := l.newSendReq()
+	r.Hdr = wire.Header{
+		Type:      wire.TypeReply,
+		SrcNid:    l.id.Nid,
+		SrcPid:    l.id.Pid,
+		DstNid:    hdr.SrcNid,
+		DstPid:    hdr.SrcPid,
+		PtlIndex:  hdr.PtlIndex,
+		MatchBits: hdr.MatchBits,
+		Length:    uint32(op.MLen),
+		Offset:    uint32(op.Off),
+		MDHandle:  hdr.MDHandle,
+		UID:       l.uid,
+		HdrData:   hdr.HdrData, // echoes the initiator's local offset
 	}
+	r.Region = op.Region
+	r.Off = op.Off
+	r.Len = op.MLen
+	r.MD = NoMD
+	r.RxOp = op
+	op.Reply = r
 	l.status[SRSendCount]++
 	l.status[SRSendLength] += uint64(op.MLen)
 	return op
@@ -319,7 +370,7 @@ func (l *Lib) ReceiveGet(hdr *wire.Header) *RxOp {
 // The reply is steered by the MD handle echoed in the header, not by
 // matching.
 func (l *Lib) ReceiveReply(hdr *wire.Header) *RxOp {
-	op := &RxOp{Hdr: *hdr, RLen: int(hdr.Length)}
+	op := l.newRxOp(hdr)
 	m, ok := l.mds.get(uint32(hdr.MDHandle))
 	if !ok || m.dead {
 		op.Drop = true
@@ -396,8 +447,10 @@ func (l *Lib) Delivered(op *RxOp, ok bool) *SendReq {
 			q.post(Event{Type: EventUnlink, Initiator: initiator(&op.Hdr), MD: m.handle, User: m.desc.User})
 		}
 	}
+	var ack *SendReq
 	if op.ackNeeded && ok {
-		return &SendReq{Hdr: wire.Header{
+		ack = l.newSendReq()
+		ack.Hdr = wire.Header{
 			Type:      wire.TypeAck,
 			SrcNid:    l.id.Nid,
 			SrcPid:    l.id.Pid,
@@ -409,9 +462,11 @@ func (l *Lib) Delivered(op *RxOp, ok bool) *SendReq {
 			Offset:    uint32(op.Off),
 			MDHandle:  op.Hdr.MDHandle,
 			UID:       l.uid,
-		}, MD: NoMD}
+		}
+		ack.MD = NoMD
 	}
-	return nil
+	l.freeRxOp(op)
+	return ack
 }
 
 // ReplySent completes the target side of a get once the reply transmission
@@ -434,6 +489,7 @@ func (l *Lib) ReplySent(op *RxOp) {
 			q.post(Event{Type: EventUnlink, Initiator: initiator(&op.Hdr), MD: m.handle, User: m.desc.User})
 		}
 	}
+	l.freeRxOp(op)
 }
 
 // Receive dispatches an incoming header to the appropriate handler; it is

@@ -42,15 +42,17 @@ type InlineAblation struct {
 }
 
 // AblationInline runs small-message ping-pong with the optimization on and
-// off.
+// off, both arms concurrently on the experiment driver.
 func AblationInline(p model.Params) InlineAblation {
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = 64
-	with := netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg)
 	p2 := p
 	p2.InlineDataMax = 0
-	without := netpipe.RunPortals(p2, netpipe.OpPut, netpipe.PingPong, cfg)
-	return InlineAblation{With: with, Without: without}
+	rs := netpipe.RunConcurrent(Parallelism, []netpipe.Job{
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg) },
+		func() netpipe.Result { return netpipe.RunPortals(p2, netpipe.OpPut, netpipe.PingPong, cfg) },
+	})
+	return InlineAblation{With: rs[0], Without: rs[1]}
 }
 
 // Checks validates the expected shape: without inlining, 8-byte latency
@@ -86,27 +88,35 @@ type CoalesceAblation struct {
 	CoalescedOn uint64
 }
 
-// AblationCoalescing streams small messages with and without coalescing.
+// AblationCoalescing streams small messages with and without coalescing,
+// both arms concurrently on the experiment driver. Each arm observes its
+// own machine, so the interrupt counters are read race-free after the
+// driver joins.
 func AblationCoalescing(p model.Params) CoalesceAblation {
 	var out CoalesceAblation
-	cfg := netpipe.DefaultConfig()
-	cfg.MaxBytes = 1 << 10
-	cfg.MaxIters = 400
+	cfg1 := netpipe.DefaultConfig()
+	cfg1.MaxBytes = 1 << 10
+	cfg1.MaxIters = 400
 
 	var m1 *machine.Machine
-	cfg.Observe = func(m *machine.Machine) { m1 = m }
-	out.With = netpipe.RunPortals(p, netpipe.OpPut, netpipe.Stream, cfg)
-	out.IrqWith = m1.Node(1).Kernel.Interrupts
-	out.CoalescedOn = m1.Node(1).Kernel.Coalesced
+	cfg1.Observe = func(m *machine.Machine) { m1 = m }
 
+	cfg2 := cfg1
 	var m2 *machine.Machine
-	cfg.Observe = func(m *machine.Machine) {
+	cfg2.Observe = func(m *machine.Machine) {
 		m2 = m
 		for n := topo.NodeID(0); n < 2; n++ {
 			m.Node(n).Kernel.NoCoalesce = true
 		}
 	}
-	out.Without = netpipe.RunPortals(p, netpipe.OpPut, netpipe.Stream, cfg)
+
+	rs := netpipe.RunConcurrent(Parallelism, []netpipe.Job{
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, netpipe.Stream, cfg1) },
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, netpipe.Stream, cfg2) },
+	})
+	out.With, out.Without = rs[0], rs[1]
+	out.IrqWith = m1.Node(1).Kernel.Interrupts
+	out.CoalescedOn = m1.Node(1).Kernel.Coalesced
 	out.IrqWithout = m2.Node(1).Kernel.Interrupts
 	return out
 }
@@ -138,15 +148,18 @@ type RxFIFOAblation struct {
 	Small netpipe.Result // 2 KB
 }
 
-// AblationRxFIFO compares ping-pong with the default and a tiny RX FIFO.
+// AblationRxFIFO compares ping-pong with the default and a tiny RX FIFO,
+// both arms concurrently on the experiment driver.
 func AblationRxFIFO(p model.Params) RxFIFOAblation {
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = 64 << 10
-	big := netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg)
 	p2 := p
 	p2.RxFIFOBytes = 2 << 10
-	small := netpipe.RunPortals(p2, netpipe.OpPut, netpipe.PingPong, cfg)
-	return RxFIFOAblation{Big: big, Small: small}
+	rs := netpipe.RunConcurrent(Parallelism, []netpipe.Job{
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg) },
+		func() netpipe.Result { return netpipe.RunPortals(p2, netpipe.OpPut, netpipe.PingPong, cfg) },
+	})
+	return RxFIFOAblation{Big: rs[0], Small: rs[1]}
 }
 
 // Checks validates the backpressure effect.
@@ -174,14 +187,14 @@ func (a RxFIFOAblation) Checks() []Check {
 func ChunkRobustness(p model.Params) []Check {
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = 1 << 20
-	var bws []float64
 	sizes := []int{1024, 2048, 8192}
-	for _, c := range sizes {
+	bws := make([]float64, len(sizes))
+	netpipe.ForEach(Parallelism, len(sizes), func(i int) {
 		pc := p
-		pc.ChunkBytes = c
+		pc.ChunkBytes = sizes[i]
 		r := netpipe.RunPortals(pc, netpipe.OpPut, netpipe.PingPong, cfg)
-		bws = append(bws, bwAt(r, 1<<20))
-	}
+		bws[i] = bwAt(r, 1<<20)
+	})
 	lo, hi := bws[0], bws[0]
 	for _, b := range bws {
 		if b < lo {

@@ -31,14 +31,24 @@ type Figure struct {
 	Series []netpipe.Result
 }
 
-// fourSeries runs the paper's standard series set for one pattern.
+// Parallelism bounds the worker pool that runs independent simulation arms
+// (figure series and ablation arms). Every arm builds its own isolated Sim
+// and machine, so arms are embarrassingly parallel and the simulated
+// numbers are identical at any setting; results are always assembled in
+// legend order. 0 means GOMAXPROCS; 1 forces fully sequential runs.
+// Set it before generating figures (it is read, not written, by the
+// generators themselves).
+var Parallelism = 0
+
+// fourSeries runs the paper's standard series set for one pattern, fanning
+// the four independent machines out across the experiment driver.
 func fourSeries(p model.Params, pat netpipe.Pattern, cfg netpipe.Config) []netpipe.Result {
-	return []netpipe.Result{
-		netpipe.RunPortals(p, netpipe.OpGet, pat, cfg),
-		netpipe.RunMPI(p, mpi.MPICH2, pat, cfg),
-		netpipe.RunMPI(p, mpi.MPICH1, pat, cfg),
-		netpipe.RunPortals(p, netpipe.OpPut, pat, cfg),
-	}
+	return netpipe.RunConcurrent(Parallelism, []netpipe.Job{
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpGet, pat, cfg) },
+		func() netpipe.Result { return netpipe.RunMPI(p, mpi.MPICH2, pat, cfg) },
+		func() netpipe.Result { return netpipe.RunMPI(p, mpi.MPICH1, pat, cfg) },
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, pat, cfg) },
+	})
 }
 
 // Figure4 reproduces the latency plot: ping-pong, 1 B – 1 KB, RTT/2.
@@ -291,14 +301,18 @@ type AccelComparison struct {
 }
 
 // AblationAccelerated measures put ping-pong in both processing modes far
-// enough up the size range to locate both half-bandwidth points.
+// enough up the size range to locate both half-bandwidth points. The two
+// arms run concurrently on the experiment driver.
 func AblationAccelerated(p model.Params) AccelComparison {
-	cfg := netpipe.DefaultConfig()
-	cfg.MaxBytes = 1 << 20
-	gen := netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg)
-	cfg.Mode = machine.Accelerated
-	acc := netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfg)
-	return AccelComparison{Generic: gen, Accel: acc}
+	cfgGen := netpipe.DefaultConfig()
+	cfgGen.MaxBytes = 1 << 20
+	cfgAcc := cfgGen
+	cfgAcc.Mode = machine.Accelerated
+	rs := netpipe.RunConcurrent(Parallelism, []netpipe.Job{
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfgGen) },
+		func() netpipe.Result { return netpipe.RunPortals(p, netpipe.OpPut, netpipe.PingPong, cfgAcc) },
+	})
+	return AccelComparison{Generic: rs[0], Accel: rs[1]}
 }
 
 // AccelChecks validates the ablation's expected shape.

@@ -6,6 +6,7 @@ import (
 	"portals3/internal/core"
 	"portals3/internal/machine"
 	"portals3/internal/model"
+	"portals3/internal/netpipe"
 	"portals3/internal/sim"
 	"portals3/internal/topo"
 )
@@ -34,14 +35,15 @@ func (r GbnResult) String() string {
 		r.Exhaustions, r.NacksSent, r.NacksRcvd, r.Retransmits)
 }
 
-// AblationGoBackN runs the incast twice — panic policy, then go-back-n —
-// with a deliberately small receive pending pool so exhaustion actually
-// happens, and reports what each policy delivered.
+// AblationGoBackN runs the incast twice — panic policy and go-back-n, both
+// arms concurrently on the experiment driver — with a deliberately small
+// receive pending pool so exhaustion actually happens, and reports what
+// each policy delivered.
 func AblationGoBackN(p model.Params, senders, msgsPerSender, msgBytes int) [2]GbnResult {
 	var out [2]GbnResult
-	for i, gbn := range []bool{false, true} {
-		out[i] = runIncast(p, senders, msgsPerSender, msgBytes, gbn)
-	}
+	netpipe.ForEach(Parallelism, 2, func(i int) {
+		out[i] = runIncast(p, senders, msgsPerSender, msgBytes, i == 1)
+	})
 	return out
 }
 

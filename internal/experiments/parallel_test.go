@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"portals3/internal/model"
+)
+
+// renderAll renders a figure to a string for byte comparison.
+func renderAll(f Figure) string {
+	var sb strings.Builder
+	f.Render(&sb)
+	return sb.String()
+}
+
+// TestFigureTableIdenticalSequentialVsParallel: the experiment driver must
+// be invisible in the output — the same seed renders the same bytes at any
+// parallelism.
+func TestFigureTableIdenticalSequentialVsParallel(t *testing.T) {
+	defer func(old int) { Parallelism = old }(Parallelism)
+	p := model.Defaults()
+
+	Parallelism = 1
+	seq := renderAll(Figure4(p))
+	Parallelism = 8
+	par := renderAll(Figure4(p))
+
+	if seq != par {
+		t.Fatalf("figure 4 table differs between sequential and parallel runs:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestAblationIdenticalSequentialVsParallel covers the non-figure driver
+// paths: ablation arms must also be parallelism-invariant.
+func TestAblationIdenticalSequentialVsParallel(t *testing.T) {
+	defer func(old int) { Parallelism = old }(Parallelism)
+	p := model.Defaults()
+
+	Parallelism = 1
+	seq := AblationInline(p)
+	Parallelism = 4
+	par := AblationInline(p)
+
+	if len(seq.With.Points) != len(par.With.Points) || len(seq.Without.Points) != len(par.Without.Points) {
+		t.Fatal("point counts differ")
+	}
+	for i := range seq.With.Points {
+		if seq.With.Points[i] != par.With.Points[i] {
+			t.Errorf("with-arm point %d differs: %+v vs %+v", i, seq.With.Points[i], par.With.Points[i])
+		}
+	}
+	for i := range seq.Without.Points {
+		if seq.Without.Points[i] != par.Without.Points[i] {
+			t.Errorf("without-arm point %d differs: %+v vs %+v", i, seq.Without.Points[i], par.Without.Points[i])
+		}
+	}
+}

@@ -55,6 +55,9 @@ type Message struct {
 	// granted receiver credits and enters the wire — the moment the TX
 	// state machine considers the packet "sent".
 	OnInjected func()
+
+	// inlBuf backs Inline so carrying an inline payload never allocates.
+	inlBuf [wire.InlineMax]byte
 }
 
 func (m *Message) String() string {
@@ -103,7 +106,20 @@ type Fabric struct {
 
 	links  map[linkKey]*sim.Server
 	eps    map[topo.NodeID]Endpoint
+	routes map[[2]topo.NodeID][]topo.Dir // routing is fixed-path, so cache per pair
 	nextID uint64
+
+	// chunkFree recycles chunk carriers and their payload buffers between
+	// messages. A chunk cycles sender → wire → receiver and comes back via
+	// RecycleChunk once the receiver has consumed the bytes; pooling keeps
+	// the per-chunk data path allocation-free. sendFree does the same for
+	// the injection carriers that walk a header or chunk through credit
+	// grant and traversal.
+	chunkFree []*Chunk
+	// msgFree recycles message carriers; see RecycleMsg for the ownership
+	// rule.
+	msgFree []*Message
+	sendFree  []*sendOp
 
 	// corruptNext counts messages whose payload should be corrupted
 	// end-to-end (test fault injection).
@@ -118,8 +134,9 @@ func New(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
 		S:     s,
 		Topo:  t,
 		P:     p,
-		links: make(map[linkKey]*sim.Server),
-		eps:   make(map[topo.NodeID]Endpoint),
+		links:  make(map[linkKey]*sim.Server),
+		eps:    make(map[topo.NodeID]Endpoint),
+		routes: make(map[[2]topo.NodeID][]topo.Dir),
 	}
 }
 
@@ -150,6 +167,33 @@ func (f *Fabric) link(node topo.NodeID, d topo.Dir) *sim.Server {
 	return sv
 }
 
+// AllocChunk returns a chunk carrier with an n-byte data buffer, reusing a
+// recycled one when available.
+func (f *Fabric) AllocChunk(n int) *Chunk {
+	if k := len(f.chunkFree); k > 0 {
+		c := f.chunkFree[k-1]
+		f.chunkFree = f.chunkFree[:k-1]
+		if cap(c.Data) >= n {
+			c.Data = c.Data[:n]
+		} else {
+			c.Data = make([]byte, n)
+		}
+		return c
+	}
+	return &Chunk{Data: make([]byte, n)}
+}
+
+// RecycleChunk returns a consumed chunk to the pool. The caller must be done
+// with Data — the next sender will overwrite it.
+func (f *Fabric) RecycleChunk(c *Chunk) {
+	c.Msg = nil
+	c.Off = 0
+	c.Last = false
+	c.Corrupt = false
+	c.OnInjected = nil
+	f.chunkFree = append(f.chunkFree, c)
+}
+
 // CorruptNext arranges for the next n injected payload-bearing messages to
 // have one payload byte flipped in a way that evades the link-level CRC
 // (modeling the rare multi-bit error the end-to-end CRC-32 exists to catch).
@@ -161,18 +205,18 @@ func (f *Fabric) CorruptNext(n int) { f.corruptNext += n }
 // time by the sending NIC.
 func (f *Fabric) NewMessage(hdr wire.Header, src, dst topo.NodeID, payload []byte) *Message {
 	f.nextID++
-	m := &Message{
-		ID:  f.nextID,
-		Hdr: hdr,
-		Src: src,
-		Dst: dst,
-		CRC: wire.CRC32(&hdr, payload),
-	}
+	m := f.getMsg()
+	m.ID = f.nextID
+	m.Hdr = hdr
+	m.Src = src
+	m.Dst = dst
+	m.CRC = wire.CRC32(&hdr, payload)
 	n := len(payload)
 	inline := 0
 	if n <= f.P.InlineDataMax && hdr.Type != wire.TypeGet && hdr.Type != wire.TypeAck {
 		inline = n
-		m.Inline = append([]byte(nil), payload[:inline]...)
+		m.Inline = m.inlBuf[:inline]
+		copy(m.Inline, payload[:inline])
 		m.Hdr.InlineLen = uint8(inline)
 		m.CRC = wire.CRC32(&m.Hdr, payload) // InlineLen is part of the header
 	}
@@ -187,7 +231,34 @@ func (f *Fabric) NewMessage(hdr wire.Header, src, dst topo.NodeID, payload []byt
 // via SetInline.
 func (f *Fabric) NewStream(hdr wire.Header, src, dst topo.NodeID, payloadLen int) *Message {
 	f.nextID++
-	return &Message{ID: f.nextID, Hdr: hdr, Src: src, Dst: dst, PayloadLen: payloadLen}
+	m := f.getMsg()
+	m.ID = f.nextID
+	m.Hdr = hdr
+	m.Src = src
+	m.Dst = dst
+	m.PayloadLen = payloadLen
+	return m
+}
+
+// getMsg takes a zeroed message from the free list or allocates one.
+func (f *Fabric) getMsg() *Message {
+	if n := len(f.msgFree); n > 0 {
+		m := f.msgFree[n-1]
+		f.msgFree[n-1] = nil
+		f.msgFree = f.msgFree[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// RecycleMsg returns a message whose life is over: the receiver calls it
+// once every byte is consumed and the receive state released, at which point
+// the sender's transmit machinery is long done with it (a go-back-n
+// retransmission always builds a fresh message). Messages that die on other
+// paths (discards, dead nodes) are simply left to the garbage collector.
+func (f *Fabric) RecycleMsg(m *Message) {
+	*m = Message{}
+	f.msgFree = append(f.msgFree, m)
 }
 
 // SetInline moves the (small) payload into the header packet: "these 12
@@ -197,7 +268,8 @@ func (m *Message) SetInline(data []byte) {
 	if len(data) > wire.InlineMax {
 		panic("fabric: inline payload exceeds header packet space")
 	}
-	m.Inline = append([]byte(nil), data...)
+	m.Inline = m.inlBuf[:len(data)]
+	copy(m.Inline, data)
 	m.Hdr.InlineLen = uint8(len(data))
 	m.PayloadLen = 0
 }
@@ -240,7 +312,12 @@ func (f *Fabric) transmissions(nbytes int) int {
 func (f *Fabric) traverse(src, dst topo.NodeID, nbytes int, deliver func()) {
 	t := f.S.Now() + f.P.InjectLatency
 	cur := src
-	for _, d := range f.Topo.Route(src, dst) {
+	route, ok := f.routes[[2]topo.NodeID{src, dst}]
+	if !ok {
+		route = f.Topo.Route(src, dst)
+		f.routes[[2]topo.NodeID{src, dst}] = route
+	}
+	for _, d := range route {
 		k := f.transmissions(nbytes)
 		dur := sim.BytesAt(int64(nbytes), f.P.LinkBps)
 		occupancy := sim.Time(k)*dur + sim.Time(k-1)*f.P.LinkRetryDelay
@@ -258,6 +335,86 @@ func (f *Fabric) traverse(src, dst topo.NodeID, nbytes int, deliver func()) {
 	f.S.At(t+f.P.InjectLatency, deliver)
 }
 
+// sendOp walks one header packet or payload chunk through its two deferred
+// steps — credit grant at the receiver window, then traversal and delivery.
+// The step callbacks are bound once and the carrier recycled at delivery, so
+// injection allocates nothing.
+type sendOp struct {
+	f       *Fabric
+	ep      Endpoint
+	m       *Message // header injection when c is nil
+	c       *Chunk   // chunk injection otherwise
+	hdrTake func()   // header credits granted: inject and traverse
+	hdrArr  func()   // header packet arrived
+	chTake  func()   // chunk credits granted: inject and traverse
+	chArr   func()   // chunk arrived
+}
+
+func (f *Fabric) getSendOp() *sendOp {
+	if k := len(f.sendFree); k > 0 {
+		s := f.sendFree[k-1]
+		f.sendFree = f.sendFree[:k-1]
+		return s
+	}
+	s := &sendOp{f: f}
+	s.hdrTake = s.headerTaken
+	s.hdrArr = s.headerArrived
+	s.chTake = s.chunkTaken
+	s.chArr = s.chunkArrived
+	return s
+}
+
+func (s *sendOp) headerTaken() {
+	f, m := s.f, s.m
+	if m.OnInjected != nil {
+		m.OnInjected()
+	}
+	// Building the trace labels (the name strings and args maps)
+	// allocates; skip it all on the tracing-off hot path.
+	if f.Trace.Enabled() {
+		f.Trace.Instant(int(m.Src), trace.TrackWire, "net", "tx "+m.Hdr.Type.String(), f.S.Now(),
+			map[string]interface{}{"msg": m.ID, "dst": m.Dst, "len": m.PayloadLen + len(m.Inline)})
+	}
+	f.traverse(m.Src, m.Dst, f.P.PacketBytes, s.hdrArr)
+}
+
+func (s *sendOp) headerArrived() {
+	f, ep, m := s.f, s.ep, s.m
+	s.ep, s.m = nil, nil
+	f.sendFree = append(f.sendFree, s)
+	if f.Trace.Enabled() {
+		f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx hdr "+m.Hdr.Type.String(), f.S.Now(),
+			map[string]interface{}{"msg": m.ID, "src": m.Src})
+	}
+	ep.HeaderArrived(m)
+	if m.PayloadLen == 0 {
+		f.Stats.Delivered++
+	}
+}
+
+func (s *sendOp) chunkTaken() {
+	f, c := s.f, s.c
+	if c.OnInjected != nil {
+		c.OnInjected()
+	}
+	f.traverse(c.Msg.Src, c.Msg.Dst, len(c.Data), s.chArr)
+}
+
+func (s *sendOp) chunkArrived() {
+	f, ep, c := s.f, s.ep, s.c
+	s.ep, s.c = nil, nil
+	f.sendFree = append(f.sendFree, s)
+	ep.ChunkArrived(c)
+	if c.Last {
+		f.Stats.Delivered++
+		if f.Trace.Enabled() {
+			m := c.Msg
+			f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx last chunk", f.S.Now(),
+				map[string]interface{}{"msg": m.ID, "src": m.Src})
+		}
+	}
+}
+
 // SendHeader injects the message's header packet. It consumes header-packet
 // credits from the receiver window (returned by the receiving NIC once the
 // header has been pushed to the host) and delivers via HeaderArrived.
@@ -267,21 +424,10 @@ func (f *Fabric) SendHeader(m *Message) {
 		panic(fmt.Sprintf("fabric: no endpoint at node %d", m.Dst))
 	}
 	f.Stats.Messages++
-	ep.RxWindow().Take(int64(f.P.PacketBytes), func() {
-		if m.OnInjected != nil {
-			m.OnInjected()
-		}
-		f.Trace.Instant(int(m.Src), trace.TrackWire, "net", "tx "+m.Hdr.Type.String(), f.S.Now(),
-			map[string]interface{}{"msg": m.ID, "dst": m.Dst, "len": m.PayloadLen + len(m.Inline)})
-		f.traverse(m.Src, m.Dst, f.P.PacketBytes, func() {
-			f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx hdr "+m.Hdr.Type.String(), f.S.Now(),
-				map[string]interface{}{"msg": m.ID, "src": m.Src})
-			ep.HeaderArrived(m)
-			if m.PayloadLen == 0 {
-				f.Stats.Delivered++
-			}
-		})
-	})
+	s := f.getSendOp()
+	s.ep = ep
+	s.m = m
+	ep.RxWindow().Take(int64(f.P.PacketBytes), s.hdrTake)
 }
 
 // SendChunk injects payload bytes. The caller (the TX DMA model) must send
@@ -304,19 +450,10 @@ func (f *Fabric) SendChunk(c *Chunk) {
 		}
 	}
 	f.Stats.Chunks++
-	ep.RxWindow().Take(int64(len(c.Data)), func() {
-		if c.OnInjected != nil {
-			c.OnInjected()
-		}
-		f.traverse(m.Src, m.Dst, len(c.Data), func() {
-			ep.ChunkArrived(c)
-			if c.Last {
-				f.Stats.Delivered++
-				f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx last chunk", f.S.Now(),
-					map[string]interface{}{"msg": m.ID, "src": m.Src})
-			}
-		})
-	})
+	s := f.getSendOp()
+	s.ep = ep
+	s.c = c
+	ep.RxWindow().Take(int64(len(c.Data)), s.chTake)
 }
 
 // LinkUtilization reports the utilization of the directed link leaving node

@@ -6,7 +6,7 @@ package fw
 func (n *NIC) SegsInRange(buf Buffer, off, nbytes int) int { return n.segsInRange(buf, off, nbytes) }
 
 // TxQueueLen exposes the TX pending list depth.
-func (n *NIC) TxQueueLen() int { return len(n.txq) }
+func (n *NIC) TxQueueLen() int { return len(n.txq) - n.txqHead }
 
 // SourceCount exposes the active source table size.
 func (n *NIC) SourceCount() int { return len(n.sources) }

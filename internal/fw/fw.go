@@ -131,6 +131,17 @@ type Pending struct {
 	done       func(ok bool)
 	released   bool
 
+	// Host-command callbacks, bound once per pooled structure, and the
+	// staged receive-command arguments they apply once the command's cycles
+	// have been charged (see Pending.stage).
+	progFn  func()
+	discFn  func()
+	relFn   func()
+	stgBuf  Buffer
+	stgOff  int
+	stgMlen int
+	stgDone func(ok bool)
+
 	// Lower pending transmit state.
 	req *TxReq
 }
@@ -148,11 +159,32 @@ type TxReq struct {
 	Done func(ok bool)
 
 	pending  *Pending
-	ctrl     bool // NIC-level flow control frame, no pending, no host data
+	job      *txJob // per-message stage carrier, recycled at header injection
+	ctrl     bool   // NIC-level flow control frame, no pending, no host data
 	seq      uint32
 	crc      uint32
 	msg      *fabric.Message
 	finished bool
+}
+
+// AllocTxReq returns a zeroed transmit request from the NIC's pool. Drivers
+// use it with RecycleTxReq to keep the per-send path allocation-free.
+func (n *NIC) AllocTxReq() *TxReq {
+	if k := len(n.txrFree); k > 0 {
+		req := n.txrFree[k-1]
+		n.txrFree = n.txrFree[:k-1]
+		return req
+	}
+	return &TxReq{}
+}
+
+// RecycleTxReq returns a finished transmit request to the pool. Callers may
+// only recycle after the request's TX_DONE event was delivered — the
+// firmware holds no reference past that point (go-back-n releases the
+// request from its unacked list before posting the event).
+func (n *NIC) RecycleTxReq(req *TxReq) {
+	*req = TxReq{}
+	n.txrFree = append(n.txrFree, req)
 }
 
 // source is the per-peer structure (§4.2): one per node this firmware is
@@ -219,8 +251,9 @@ type NIC struct {
 	sources    map[topo.NodeID]*source
 	sourceFree int
 
-	txq    []*TxReq
-	txBusy bool
+	txq     []*TxReq // pending transmits; txqHead indexes the next one
+	txqHead int
+	txBusy  bool
 
 	// early holds chunks that arrive before the header handler has
 	// allocated a pending (hardware demultiplexes; the PowerPC is still
@@ -230,8 +263,28 @@ type NIC struct {
 
 	killed bool
 
+	// txcFree and depFree recycle the per-chunk pipeline carriers (see
+	// tx.go/rx.go) so the data path allocates nothing per chunk; cmdFree,
+	// hdrFree and stubFree do the same for the per-message mailbox-command,
+	// header-dispatch and early-chunk-stub paths.
+	txcFree  []*txChunk
+	txjFree  []*txJob
+	tdFree   []*txDone
+	depFree  []*rxDeposit
+	cmdFree  []*cmdJob
+	hdrFree  []*hdrJob
+	stubFree []*Pending
+	evpFree  []*evPost
+	txrFree  []*TxReq
+
+	// hdrScratch is the header-encode buffer for CRC computation; methods
+	// use it instead of a stack array because the encode call makes a stack
+	// array escape (one allocation per message).
+	hdrScratch [wire.HeaderBytes]byte
+
 	// Heartbeat is the control block RAS heartbeat counter (§4.2);
-	// incremented with every handler dispatch.
+	// incremented as each handler is dispatched to the (FIFO) firmware CPU,
+	// so it stalls exactly when the firmware stops making progress.
 	Heartbeat uint64
 
 	Stats Stats
@@ -343,14 +396,22 @@ func (n *NIC) procForPid(pid uint32) *Process {
 func (n *NIC) Generic() *Process { return n.generic }
 
 // exec runs fn as one firmware handler, charging cycles on the PowerPC and
-// ticking the RAS heartbeat. name labels the handler in traces.
+// ticking the RAS heartbeat. name labels the handler in traces. The span is
+// only built when a tracer is attached — this is the hottest dispatch point
+// in the model, and tracing-off runs must pay nothing for it.
 func (n *NIC) exec(name string, cycles int64, fn func()) {
-	dur := n.P.PPCCycles(n.P.FwDispatchCycles + cycles)
-	n.Chip.Exec(cycles, func() {
-		n.Heartbeat++
-		n.Trace.Span(int(n.Node), trace.TrackPPC, "fw", name, n.S.Now()-dur, dur, nil)
-		fn()
-	})
+	n.Heartbeat++
+	if n.Trace.Enabled() {
+		dur := n.P.PPCCycles(n.P.FwDispatchCycles + cycles)
+		n.Chip.Exec(cycles, func() {
+			n.Trace.Span(int(n.Node), trace.TrackPPC, "fw", name, n.S.Now()-dur, dur, nil)
+			fn()
+		})
+		return
+	}
+	// Tracing off: hand fn straight to the CPU — no wrapper closure on the
+	// hot path.
+	n.Chip.Exec(cycles, fn)
 }
 
 // allocSource finds or allocates the source structure for a peer; nil means
@@ -375,7 +436,67 @@ func (n *NIC) allocSource(nid topo.NodeID) *source {
 // no interrupt involved).
 func (n *NIC) postEvent(p *Process, ev Event) {
 	n.Stats.EventsPosted++
-	n.Chip.WriteHost(fwEventBytes, func() { p.Handle(ev) })
+	j := n.getEvPost()
+	j.p = p
+	j.ev = ev
+	n.Chip.WriteHost(fwEventBytes, j.fn)
+}
+
+// evPost carries one host event delivery; the continuations are bound once
+// and the carrier recycled, so posting an event allocates nothing. The
+// three entry points cover the three delivery shapes: a plain event queue
+// write (fn), a header write that must also return RX FIFO credits (crFn),
+// and the rx-done firmware handler that posts the completion (rdFn).
+type evPost struct {
+	n       *NIC
+	p       *Process
+	ev      Event
+	credits int64
+	fn      func()
+	crFn    func()
+	rdFn    func()
+}
+
+func (n *NIC) getEvPost() *evPost {
+	if k := len(n.evpFree); k > 0 {
+		j := n.evpFree[k-1]
+		n.evpFree = n.evpFree[:k-1]
+		return j
+	}
+	j := &evPost{n: n}
+	j.fn = j.run
+	j.crFn = j.runCredits
+	j.rdFn = j.runRxDone
+	return j
+}
+
+func (j *evPost) recycle() (*NIC, *Process, Event) {
+	n, p, ev := j.n, j.p, j.ev
+	j.p = nil
+	j.ev = Event{}
+	n.evpFree = append(n.evpFree, j)
+	return n, p, ev
+}
+
+func (j *evPost) run() {
+	_, p, ev := j.recycle()
+	p.Handle(ev)
+}
+
+func (j *evPost) runCredits() {
+	credits := j.credits
+	n, p, ev := j.recycle()
+	n.Chip.RxFIFO.Put(credits)
+	p.Handle(ev)
+}
+
+func (j *evPost) runRxDone() {
+	n, p, ev := j.recycle()
+	if p.Accel {
+		p.Handle(ev)
+		return
+	}
+	n.postEvent(p, ev)
 }
 
 // exhaust applies the exhaustion policy for an unservable incoming message.

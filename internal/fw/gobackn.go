@@ -171,9 +171,9 @@ func (n *NIC) gbnRequeue(resend []*TxReq) {
 		return
 	}
 	n.Stats.Retransmits += uint64(len(resend))
-	insert := 0
+	insert := n.txqHead
 	if n.txBusy {
-		insert = 1
+		insert++
 	}
 	rest := append([]*TxReq(nil), n.txq[insert:]...)
 	n.txq = append(n.txq[:insert], append(resend, rest...)...)

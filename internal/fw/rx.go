@@ -12,11 +12,55 @@ import (
 // headerCRC starts the receive-side end-to-end check: CRC over the encoded
 // header plus any inline payload. Payload chunks extend it in arrival
 // order, which matches sender order because delivery is in-order.
-func headerCRC(m *fabric.Message) uint32 {
-	var buf [wire.HeaderBytes]byte
-	m.Hdr.Encode(buf[:])
-	c := crc32.ChecksumIEEE(buf[:])
+func (n *NIC) headerCRC(m *fabric.Message) uint32 {
+	m.Hdr.Encode(n.hdrScratch[:])
+	c := crc32.ChecksumIEEE(n.hdrScratch[:])
 	return crc32.Update(c, crc32.IEEETable, m.Inline)
+}
+
+// hdrJob defers one arrived header to the firmware CPU without allocating a
+// fresh dispatch closure per message.
+type hdrJob struct {
+	n   *NIC
+	m   *fabric.Message
+	fn  func()
+}
+
+func (n *NIC) getHdrJob() *hdrJob {
+	if k := len(n.hdrFree); k > 0 {
+		j := n.hdrFree[k-1]
+		n.hdrFree = n.hdrFree[:k-1]
+		return j
+	}
+	j := &hdrJob{n: n}
+	j.fn = j.run
+	return j
+}
+
+func (j *hdrJob) run() {
+	n, m := j.n, j.m
+	j.m = nil
+	n.hdrFree = append(n.hdrFree, j)
+	n.handleHeader(m)
+}
+
+// getStub returns a stream stub for chunks racing ahead of the header
+// handler; stubs recycle once the real pending adopts their state.
+func (n *NIC) getStub(m *fabric.Message) *Pending {
+	if k := len(n.stubFree); k > 0 {
+		s := n.stubFree[k-1]
+		n.stubFree = n.stubFree[:k-1]
+		s.msg = m
+		return s
+	}
+	return &Pending{msg: m}
+}
+
+func (n *NIC) putStub(s *Pending) {
+	s.msg = nil
+	s.queued = nil
+	s.arrived = 0
+	n.stubFree = append(n.stubFree, s)
 }
 
 // HeaderArrived implements fabric.Endpoint. It runs at hardware time: the
@@ -34,9 +78,11 @@ func (n *NIC) HeaderArrived(m *fabric.Message) {
 		return
 	}
 	if m.PayloadLen > 0 {
-		n.streams[m.ID] = &Pending{msg: m}
+		n.streams[m.ID] = n.getStub(m)
 	}
-	n.exec("rx-header", n.P.FwRxHdrCycles, func() { n.handleHeader(m) })
+	j := n.getHdrJob()
+	j.m = m
+	n.exec("rx-header", n.P.FwRxHdrCycles, j.fn)
 }
 
 // handleHeader is the firmware's new-message handler (§4.3): source lookup
@@ -50,6 +96,7 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 	if m.Hdr.Type == wire.TypeFcAck || m.Hdr.Type == wire.TypeFcNack {
 		n.handleFlowControl(m)
 		n.Chip.RxFIFO.Put(hdrCredits)
+		n.Fab.RecycleMsg(m)
 		return
 	}
 
@@ -88,11 +135,13 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 	p.msg = m
 	p.Hdr = m.Hdr
 	p.Inline = m.Inline
-	p.crc = headerCRC(m)
+	p.crc = n.headerCRC(m)
 	if stub, ok := n.streams[m.ID]; ok && stub != p {
 		// Adopt chunks that raced ahead of this handler.
 		p.queued = stub.queued
 		p.arrived = stub.arrived
+		stub.queued = nil
+		n.putStub(stub)
 	}
 	if m.PayloadLen > 0 {
 		n.streams[m.ID] = p
@@ -118,10 +167,11 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 			return
 		}
 		n.Stats.EventsPosted++
-		n.Chip.WriteHost(int64(wire.HeaderBytes+len(m.Inline)+fwEventBytes), func() {
-			n.Chip.RxFIFO.Put(hdrCredits)
-			proc.Handle(ev)
-		})
+		j := n.getEvPost()
+		j.p = proc
+		j.ev = ev
+		j.credits = hdrCredits
+		n.Chip.WriteHost(int64(wire.HeaderBytes+len(m.Inline)+fwEventBytes), j.crFn)
 		return
 	}
 
@@ -135,10 +185,11 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 		return
 	}
 	n.Stats.EventsPosted++
-	n.Chip.WriteHost(int64(wire.HeaderBytes+fwEventBytes), func() {
-		n.Chip.RxFIFO.Put(hdrCredits)
-		proc.Handle(ev)
-	})
+	j := n.getEvPost()
+	j.p = proc
+	j.ev = ev
+	j.credits = hdrCredits
+	n.Chip.WriteHost(int64(wire.HeaderBytes+fwEventBytes), j.crFn)
 }
 
 // condemn marks a message's remaining payload for silent discard.
@@ -150,7 +201,11 @@ func (n *NIC) condemn(m *fabric.Message) {
 		for _, c := range stub.queued {
 			remaining -= len(c.Data)
 			n.Chip.RxFIFO.Put(int64(len(c.Data)))
+			n.Fab.RecycleChunk(c)
 		}
+		// condemn always runs before a pending was adopted, so the stream
+		// entry is a stub from HeaderArrived.
+		n.putStub(stub)
 	}
 	if remaining > 0 {
 		n.dead[m.ID] = remaining
@@ -169,6 +224,7 @@ func (n *NIC) ChunkArrived(c *fabric.Chunk) {
 		} else {
 			n.dead[c.Msg.ID] = left
 		}
+		n.Fab.RecycleChunk(c)
 		return
 	}
 	p, ok := n.streams[c.Msg.ID]
@@ -183,6 +239,41 @@ func (n *NIC) ChunkArrived(c *fabric.Chunk) {
 		return
 	}
 	p.queued = append(p.queued, c)
+}
+
+// rxDeposit is one in-flight host deposit of a received chunk. Like the TX
+// side's txChunk, the carrier and its completion callback are bound once
+// and recycled, keeping the receive data path allocation-free.
+type rxDeposit struct {
+	n          *NIC
+	p          *Pending
+	c          *fabric.Chunk
+	depositLen int
+	writeFn    func()
+}
+
+func (n *NIC) getDeposit() *rxDeposit {
+	if k := len(n.depFree); k > 0 {
+		d := n.depFree[k-1]
+		n.depFree = n.depFree[:k-1]
+		return d
+	}
+	d := &rxDeposit{n: n}
+	d.writeFn = d.write
+	return d
+}
+
+// write runs when the HyperTransport write completes: deposit the bytes,
+// return FIFO credits, recycle the chunk and the carrier.
+func (d *rxDeposit) write() {
+	n, p, c, dl := d.n, d.p, d.c, d.depositLen
+	d.p, d.c = nil, nil
+	n.depFree = append(n.depFree, d)
+	p.buf.WriteAt(p.bufOff+c.Off, c.Data[:dl])
+	n.Chip.RxFIFO.Put(int64(len(c.Data)))
+	p.consumed += len(c.Data)
+	n.Fab.RecycleChunk(c)
+	n.checkRxComplete(p)
 }
 
 // consumeChunk moves one arrived chunk out of the RX FIFO: the prefix
@@ -200,19 +291,17 @@ func (n *NIC) consumeChunk(p *Pending, c *fabric.Chunk) {
 		}
 	}
 	if depositLen > 0 {
-		data := c.Data
-		off := c.Off
-		segs := n.segsInRange(p.buf, p.bufOff+off, depositLen)
-		n.Chip.WriteHostStream(int64(depositLen), segs, func() {
-			p.buf.WriteAt(p.bufOff+off, data[:depositLen])
-			n.Chip.RxFIFO.Put(int64(len(data)))
-			p.consumed += len(data)
-			n.checkRxComplete(p)
-		})
+		d := n.getDeposit()
+		d.p = p
+		d.c = c
+		d.depositLen = depositLen
+		segs := n.segsInRange(p.buf, p.bufOff+c.Off, depositLen)
+		n.Chip.WriteHostStream(int64(depositLen), segs, d.writeFn)
 		return
 	}
 	n.Chip.RxFIFO.Put(int64(len(c.Data)))
 	p.consumed += len(c.Data)
+	n.Fab.RecycleChunk(c)
 	n.checkRxComplete(p)
 }
 
@@ -237,14 +326,10 @@ func (n *NIC) checkRxComplete(p *Pending) {
 		n.Stats.CrcFails++
 	}
 	n.gbnDataReceived(p, ok)
-	n.exec("rx-done", n.P.FwRxDoneCycles, func() {
-		ev := Event{Kind: EvRxDone, Pending: p, OK: ok}
-		if p.proc.Accel {
-			p.proc.Handle(ev)
-			return
-		}
-		n.postEvent(p.proc, ev)
-	})
+	j := n.getEvPost()
+	j.p = p.proc
+	j.ev = Event{Kind: EvRxDone, Pending: p, OK: ok}
+	n.exec("rx-done", n.P.FwRxDoneCycles, j.rdFn)
 }
 
 // SubmitRx is the host's receive command (§4.3): after Portals matching,
@@ -254,14 +339,52 @@ func (n *NIC) checkRxComplete(p *Pending) {
 // completion handling.
 func (p *Pending) SubmitRx(buf Buffer, bufOff, mlen int, done func(ok bool)) {
 	n := p.proc.nic
-	p.proc.command(n.P.FwRxCmdCycles+n.P.FwDMAProgramCycles, func() {
-		p.buf = buf
-		p.bufOff = bufOff
-		p.mlen = mlen
-		p.done = done
-		p.programmed = true
-		n.drainQueued(p)
-	})
+	p.stage(buf, bufOff, mlen, done)
+	p.proc.command(n.P.FwRxCmdCycles+n.P.FwDMAProgramCycles, p.progFn)
+}
+
+// stage parks a receive command's arguments on the pending until its
+// mailbox/handler cycles have been charged; program applies them. With the
+// command callbacks bound once per pooled Pending, the receive command path
+// allocates nothing.
+func (p *Pending) stage(buf Buffer, bufOff, mlen int, done func(ok bool)) {
+	if p.progFn == nil {
+		p.progFn = p.program
+		p.discFn = p.discard
+		p.relFn = p.release
+	}
+	p.stgBuf = buf
+	p.stgOff = bufOff
+	p.stgMlen = mlen
+	p.stgDone = done
+}
+
+func (p *Pending) program() {
+	p.buf = p.stgBuf
+	p.bufOff = p.stgOff
+	p.mlen = p.stgMlen
+	p.done = p.stgDone
+	p.stgBuf = nil
+	p.stgDone = nil
+	p.programmed = true
+	p.proc.nic.drainQueued(p)
+}
+
+func (p *Pending) discard() {
+	p.discardAll = true
+	p.proc.nic.drainQueued(p)
+}
+
+func (p *Pending) release() { p.proc.nic.freeRx(p) }
+
+// bindCmds ensures the command callbacks are bound (for paths that skip
+// stage).
+func (p *Pending) bindCmds() {
+	if p.progFn == nil {
+		p.progFn = p.program
+		p.discFn = p.discard
+		p.relFn = p.release
+	}
 }
 
 // ProgramRx is the NIC-local equivalent of SubmitRx, used by accelerated
@@ -271,29 +394,22 @@ func (p *Pending) SubmitRx(buf Buffer, bufOff, mlen int, done func(ok bool)) {
 // the host", §3.3).
 func (p *Pending) ProgramRx(buf Buffer, bufOff, mlen int, done func(ok bool)) {
 	n := p.proc.nic
-	n.exec("rx-program-local", n.P.FwDMAProgramCycles, func() {
-		p.buf = buf
-		p.bufOff = bufOff
-		p.mlen = mlen
-		p.done = done
-		p.programmed = true
-		n.drainQueued(p)
-	})
+	p.stage(buf, bufOff, mlen, done)
+	n.exec("rx-program-local", n.P.FwDMAProgramCycles, p.progFn)
 }
 
 // DiscardLocal is the NIC-local equivalent of Discard.
 func (p *Pending) DiscardLocal() {
 	n := p.proc.nic
-	n.exec("rx-discard-local", n.P.FwRxCmdCycles, func() {
-		p.discardAll = true
-		n.drainQueued(p)
-	})
+	p.bindCmds()
+	n.exec("rx-discard-local", n.P.FwRxCmdCycles, p.discFn)
 }
 
 // ReleaseLocal is the NIC-local equivalent of Release.
 func (p *Pending) ReleaseLocal() {
 	n := p.proc.nic
-	n.exec("release-local", n.P.FwReleaseCycles, func() { n.freeRx(p) })
+	p.bindCmds()
+	n.exec("release-local", n.P.FwReleaseCycles, p.relFn)
 }
 
 // Discard is the host's "drop this message" command: every payload byte is
@@ -302,10 +418,8 @@ func (p *Pending) ReleaseLocal() {
 // own.
 func (p *Pending) Discard() {
 	n := p.proc.nic
-	p.proc.command(n.P.FwRxCmdCycles, func() {
-		p.discardAll = true
-		n.drainQueued(p)
-	})
+	p.bindCmds()
+	p.proc.command(n.P.FwRxCmdCycles, p.discFn)
 }
 
 // Release is the host's release-pending command (§4.3), returning the
@@ -313,7 +427,8 @@ func (p *Pending) Discard() {
 // pending contents.
 func (p *Pending) Release() {
 	n := p.proc.nic
-	p.proc.command(n.P.FwReleaseCycles, func() { n.freeRx(p) })
+	p.bindCmds()
+	p.proc.command(n.P.FwReleaseCycles, p.relFn)
 }
 
 // drainQueued consumes chunks that arrived before the host's command, then
@@ -329,15 +444,28 @@ func (n *NIC) drainQueued(p *Pending) {
 	}
 }
 
-// freeRx returns a pending to its process pool.
+// freeRx returns a pending to its process pool. The released structure
+// itself is reused (adoption resets it) unless its discarded stream is
+// still draining, in which case the pool gets a fresh structure and the old
+// one keeps consuming safely.
 func (n *NIC) freeRx(p *Pending) {
 	if p.released {
 		panic("fw: double release of rx pending")
 	}
 	p.released = true
 	proc := p.proc
-	fresh := &Pending{proc: proc}
-	proc.rxFree = append(proc.rxFree, fresh)
+	if p.msg != nil && p.consumed < p.msg.PayloadLen {
+		proc.rxFree = append(proc.rxFree, &Pending{proc: proc})
+		return
+	}
+	if p.msg != nil {
+		// Fully consumed and released: the message's life is over on both
+		// ends of the wire.
+		proc.nic.Fab.RecycleMsg(p.msg)
+	}
+	p.msg = nil
+	p.Inline = nil
+	proc.rxFree = append(proc.rxFree, p)
 }
 
 // reset clears receive state for reuse.
@@ -366,20 +494,59 @@ func (p *Pending) PayloadLen() int { return p.msg.PayloadLen }
 // Done returns the completion callback stored by SubmitRx.
 func (p *Pending) Done() func(ok bool) { return p.done }
 
+// cmdJob carries one mailbox command through its stages — FIFO slot grant,
+// posted write across HyperTransport, firmware handler — with the stage
+// callbacks bound once and the carrier recycled, so a command allocates
+// nothing beyond its handler.
+type cmdJob struct {
+	p       *Process
+	cycles  int64
+	handler func()
+	takeFn  func()
+	postFn  func()
+	runFn   func()
+}
+
+func (n *NIC) getCmdJob() *cmdJob {
+	if k := len(n.cmdFree); k > 0 {
+		j := n.cmdFree[k-1]
+		n.cmdFree = n.cmdFree[:k-1]
+		return j
+	}
+	j := &cmdJob{}
+	j.takeFn = j.take
+	j.postFn = j.post
+	j.runFn = j.run
+	return j
+}
+
+func (j *cmdJob) take() {
+	n := j.p.nic
+	n.S.After(n.P.HTWriteLatency, j.postFn)
+}
+
+func (j *cmdJob) post() {
+	j.p.nic.exec("mailbox-cmd", j.cycles, j.runFn)
+}
+
+func (j *cmdJob) run() {
+	p, h := j.p, j.handler
+	j.p, j.handler = nil, nil
+	p.nic.cmdFree = append(p.nic.cmdFree, j)
+	p.cmdSlots.Put(1)
+	h()
+}
+
 // command posts one mailbox command from the host: it takes a command FIFO
 // slot (backpressuring the host when full), models the posted-write latency
 // across HyperTransport, then runs handler as a firmware handler of the
 // given cycle cost. The slot frees when the firmware pops the command.
 func (p *Process) command(cycles int64, handler func()) {
-	n := p.nic
-	p.cmdSlots.Take(1, func() {
-		n.S.After(n.P.HTWriteLatency, func() {
-			n.exec("mailbox-cmd", cycles, func() {
-				p.cmdSlots.Put(1)
-				handler()
-			})
-		})
-	})
+	j := p.nic.getCmdJob()
+	j.p = p
+	j.cycles = cycles
+	j.handler = handler
+	p.cmdSlots.Take(1, j.takeFn)
 }
 
 // QueryStats is a synchronous mailbox command: the host posts it to the

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"hash/crc32"
 
-	"portals3/internal/fabric"
 	"portals3/internal/topo"
 	"portals3/internal/wire"
 )
@@ -41,20 +40,80 @@ func (n *NIC) SubmitTx(req *TxReq) error {
 	proc.txFree = proc.txFree[:len(proc.txFree)-1]
 	p.req = req
 	req.pending = p
-	proc.command(n.P.FwTxCmdCycles, func() {
-		src := n.allocSource(topo.NodeID(req.Hdr.DstNid))
-		if src == nil {
-			// TX-side source exhaustion cannot be NACKed away — the
-			// pool is local. It is always a sizing failure.
-			n.Stats.Exhaustions++
-			n.OnPanic("tx source pool empty")
-			return
-		}
-		n.gbnAssignSeq(src, req)
-		n.txq = append(n.txq, req)
-		n.pumpTx()
-	})
+	j := n.getTxJob()
+	j.req = req
+	req.job = j
+	proc.command(n.P.FwTxCmdCycles, j.submitFn)
 	return nil
+}
+
+// txJob carries one transmit request through the per-message stages of the
+// TX state machine — mailbox command, header fetch, optional inline payload
+// fetch — with the stage callbacks bound once and the carrier recycled in
+// txHeaderReady, so a message start allocates nothing.
+type txJob struct {
+	n        *NIC
+	req      *TxReq
+	submitFn func() // mailbox command handler: enqueue on the TX FIFO
+	startFn  func() // tx-program handler: fetch the header
+	hdrFn    func() // header fetched from host memory
+	inlFn    func() // inline payload fetched from host memory
+}
+
+func (n *NIC) getTxJob() *txJob {
+	if k := len(n.txjFree); k > 0 {
+		j := n.txjFree[k-1]
+		n.txjFree = n.txjFree[:k-1]
+		return j
+	}
+	j := &txJob{n: n}
+	j.submitFn = j.submit
+	j.startFn = j.start
+	j.hdrFn = j.hdrRead
+	j.inlFn = j.inlRead
+	return j
+}
+
+func (j *txJob) submit() {
+	n, req := j.n, j.req
+	src := n.allocSource(topo.NodeID(req.Hdr.DstNid))
+	if src == nil {
+		// TX-side source exhaustion cannot be NACKed away — the
+		// pool is local. It is always a sizing failure.
+		n.Stats.Exhaustions++
+		n.OnPanic("tx source pool empty")
+		return
+	}
+	n.gbnAssignSeq(src, req)
+	n.txq = append(n.txq, req)
+	n.pumpTx()
+}
+
+func (j *txJob) start() {
+	n, req := j.n, j.req
+	if req.ctrl {
+		n.txHeaderReady(req, nil)
+		return
+	}
+	n.Chip.ReadHost(int64(wire.PacketBytes), 1, j.hdrFn)
+}
+
+func (j *txJob) hdrRead() {
+	n, req := j.n, j.req
+	if req.Len <= n.P.InlineDataMax && req.Len > 0 && req.Hdr.HasPayload() {
+		// Small-message optimization: the payload rides in the header
+		// packet. One more HT read fetches it from main memory.
+		n.Chip.ReadHost(int64(req.Len), n.segsInRange(req.Buf, req.Off, req.Len), j.inlFn)
+		return
+	}
+	n.txHeaderReady(req, nil)
+}
+
+func (j *txJob) inlRead() {
+	n, req := j.n, j.req
+	data := make([]byte, req.Len)
+	req.Buf.ReadAt(req.Off, data)
+	n.txHeaderReady(req, data)
 }
 
 // sendControl transmits a NIC-level flow control frame. Control frames are
@@ -74,42 +133,33 @@ func (n *NIC) sendControl(dst topo.NodeID, typ wire.MsgType, seq uint32) {
 }
 
 // pumpTx starts the transmit state machine on the head of the TX pending
-// list if it is idle. One message transmits at a time.
+// list if it is idle. One message transmits at a time. The header fetch
+// (one HT read — control frames skip it, their header is SRAM-resident)
+// and inline payload fetch run as txJob stages.
 func (n *NIC) pumpTx() {
-	if n.txBusy || len(n.txq) == 0 {
+	if n.txBusy || n.txqHead == len(n.txq) {
 		return
 	}
 	n.txBusy = true
-	req := n.txq[0]
-	n.exec("tx-program", n.P.FwDMAProgramCycles, func() { n.txStart(req) })
-}
-
-// txStart fetches the header from the upper pending in host memory (one HT
-// read — control frames skip it, their header is SRAM-resident) and then
-// transmits.
-func (n *NIC) txStart(req *TxReq) {
-	if req.ctrl {
-		n.txHeaderReady(req, nil)
-		return
+	req := n.txq[n.txqHead]
+	if req.job == nil {
+		// Control frames and go-back-n retransmissions arrive without a
+		// carrier (theirs was recycled when the first attempt started).
+		req.job = n.getTxJob()
+		req.job.req = req
 	}
-	n.Chip.ReadHost(int64(wire.PacketBytes), 1, func() {
-		if req.Len <= n.P.InlineDataMax && req.Len > 0 && req.Hdr.HasPayload() {
-			// Small-message optimization: the payload rides in the header
-			// packet. One more HT read fetches it from main memory.
-			n.Chip.ReadHost(int64(req.Len), n.segsInRange(req.Buf, req.Off, req.Len), func() {
-				data := make([]byte, req.Len)
-				req.Buf.ReadAt(req.Off, data)
-				n.txHeaderReady(req, data)
-			})
-			return
-		}
-		n.txHeaderReady(req, nil)
-	})
+	n.exec("tx-program", n.P.FwDMAProgramCycles, req.job.startFn)
 }
 
 // txHeaderReady injects the header packet and, for chunked payloads,
-// starts the chunk pipeline.
+// starts the chunk pipeline. The message's txJob carrier is done once the
+// header is on its way, so it recycles here.
 func (n *NIC) txHeaderReady(req *TxReq, inline []byte) {
+	if req.job != nil {
+		req.job.req = nil
+		n.txjFree = append(n.txjFree, req.job)
+		req.job = nil
+	}
 	payloadLen := req.Len
 	if inline != nil {
 		payloadLen = 0
@@ -123,13 +173,14 @@ func (n *NIC) txHeaderReady(req *TxReq, inline []byte) {
 		m.SetInline(inline)
 	}
 	req.msg = m
-	var hdrBuf [wire.HeaderBytes]byte
-	m.Hdr.Encode(hdrBuf[:])
-	req.crc = crc32.ChecksumIEEE(hdrBuf[:])
+	m.Hdr.Encode(n.hdrScratch[:])
+	req.crc = crc32.ChecksumIEEE(n.hdrScratch[:])
 	req.crc = crc32.Update(req.crc, crc32.IEEETable, m.Inline)
 	if payloadLen == 0 {
 		m.SetCRC(req.crc)
-		m.OnInjected = func() { n.txComplete(req) }
+		d := n.getTxDone()
+		d.req = req
+		m.OnInjected = d.injFn
 		n.Fab.SendHeader(m)
 		return
 	}
@@ -137,64 +188,146 @@ func (n *NIC) txHeaderReady(req *TxReq, inline []byte) {
 	n.txNextChunk(req, 0)
 }
 
+// txDone carries a message's completion through its two deferred steps —
+// the wire-entry callback and the tx-done firmware handler — without a
+// fresh closure per message.
+type txDone struct {
+	n      *NIC
+	req    *TxReq
+	injFn  func() // chunkless message entered the wire
+	doneFn func() // tx-done handler body
+}
+
+func (n *NIC) getTxDone() *txDone {
+	if k := len(n.tdFree); k > 0 {
+		d := n.tdFree[k-1]
+		n.tdFree = n.tdFree[:k-1]
+		return d
+	}
+	d := &txDone{n: n}
+	d.injFn = d.inj
+	d.doneFn = d.done
+	return d
+}
+
+func (d *txDone) inj() {
+	n, req := d.n, d.req
+	d.req = nil
+	n.tdFree = append(n.tdFree, d)
+	n.txComplete(req)
+}
+
+func (d *txDone) done() {
+	n, req := d.n, d.req
+	d.req = nil
+	n.tdFree = append(n.tdFree, d)
+	if n.txqHead == len(n.txq) || n.txq[n.txqHead] != req {
+		panic("fw: tx completion out of order")
+	}
+	n.txq[n.txqHead] = nil
+	n.txqHead++
+	if n.txqHead == len(n.txq) {
+		// Queue drained: rewind so the buffer's capacity is reused.
+		n.txq = n.txq[:0]
+		n.txqHead = 0
+	}
+	n.txBusy = false
+	n.Stats.MsgsTx++
+	if !req.ctrl {
+		if n.Policy == ExhaustGoBackN {
+			n.gbnHoldCompletion(req)
+		} else {
+			n.finishTx(req, true)
+		}
+	}
+	n.pumpTx()
+}
+
+// txChunk is one in-flight payload chunk of the transmit pipeline. The
+// carrier and its stage callbacks are bound once and recycled through the
+// NIC's free list, so the per-chunk path allocates nothing.
+type txChunk struct {
+	n       *NIC
+	req     *TxReq
+	off, sz int
+	last    bool
+	takeFn  func() // TX FIFO space granted
+	readFn  func() // host DMA read complete
+	injFn   func() // chunk entered the wire
+}
+
+func (n *NIC) getTxChunk() *txChunk {
+	if k := len(n.txcFree); k > 0 {
+		t := n.txcFree[k-1]
+		n.txcFree = n.txcFree[:k-1]
+		return t
+	}
+	t := &txChunk{n: n}
+	t.takeFn = t.take
+	t.readFn = t.read
+	t.injFn = t.injected
+	return t
+}
+
 // txNextChunk runs the payload pipeline: reserve TX FIFO space, DMA-read
 // the chunk from host memory (zero-copy: bytes are captured at read time),
 // fold it into the running CRC, and inject it. When the FIFO is full the
 // state machine yields, exactly as §4.3 describes.
 func (n *NIC) txNextChunk(req *TxReq, off int) {
-	sz := n.P.ChunkBytes
-	if off+sz > req.Len {
-		sz = req.Len - off
+	t := n.getTxChunk()
+	t.req = req
+	t.off = off
+	t.sz = n.P.ChunkBytes
+	if off+t.sz > req.Len {
+		t.sz = req.Len - off
 	}
-	last := off+sz == req.Len
-	n.Chip.TxFIFO.Take(int64(sz), func() {
-		n.Chip.ReadHostStream(int64(sz), n.segsInRange(req.Buf, req.Off+off, sz), func() {
-			data := make([]byte, sz)
-			req.Buf.ReadAt(req.Off+off, data)
-			req.crc = crc32.Update(req.crc, crc32.IEEETable, data)
-			if last {
-				req.msg.SetCRC(req.crc)
-			}
-			chunk := &fabric.Chunk{
-				Msg:  req.msg,
-				Off:  off,
-				Data: data,
-				Last: last,
-			}
-			chunk.OnInjected = func() {
-				n.Chip.TxFIFO.Put(int64(sz))
-				if last {
-					n.txComplete(req)
-				}
-			}
-			n.Fab.SendChunk(chunk)
-			if !last {
-				n.txNextChunk(req, off+sz)
-			}
-		})
-	})
+	t.last = off+t.sz == req.Len
+	n.Chip.TxFIFO.Take(int64(t.sz), t.takeFn)
+}
+
+func (t *txChunk) take() {
+	n := t.n
+	n.Chip.ReadHostStream(int64(t.sz), n.segsInRange(t.req.Buf, t.req.Off+t.off, t.sz), t.readFn)
+}
+
+func (t *txChunk) read() {
+	n, req := t.n, t.req
+	c := n.Fab.AllocChunk(t.sz)
+	req.Buf.ReadAt(req.Off+t.off, c.Data)
+	req.crc = crc32.Update(req.crc, crc32.IEEETable, c.Data)
+	if t.last {
+		req.msg.SetCRC(req.crc)
+	}
+	c.Msg = req.msg
+	c.Off = t.off
+	c.Last = t.last
+	c.OnInjected = t.injFn
+	n.Fab.SendChunk(c)
+	if !t.last {
+		n.txNextChunk(req, t.off+t.sz)
+	}
+}
+
+// injected fires when the chunk's bytes have entered the wire: TX FIFO
+// space recycles, and the carrier goes back to the pool (the fabric chunk
+// itself lives on until the receiver consumes it).
+func (t *txChunk) injected() {
+	n, req, sz, last := t.n, t.req, t.sz, t.last
+	t.req = nil
+	n.txcFree = append(n.txcFree, t)
+	n.Chip.TxFIFO.Put(int64(sz))
+	if last {
+		n.txComplete(req)
+	}
 }
 
 // txComplete runs when the message's final packet enters the wire: unlink
 // from the TX pending list, post the transmit-complete event (unless
 // go-back-n holds it for the peer's ack), and pump the next message.
 func (n *NIC) txComplete(req *TxReq) {
-	n.exec("tx-done", n.P.FwTxDoneCycles, func() {
-		if len(n.txq) == 0 || n.txq[0] != req {
-			panic("fw: tx completion out of order")
-		}
-		n.txq = n.txq[1:]
-		n.txBusy = false
-		n.Stats.MsgsTx++
-		if !req.ctrl {
-			if n.Policy == ExhaustGoBackN {
-				n.gbnHoldCompletion(req)
-			} else {
-				n.finishTx(req, true)
-			}
-		}
-		n.pumpTx()
-	})
+	d := n.getTxDone()
+	d.req = req
+	n.exec("tx-done", n.P.FwTxDoneCycles, d.doneFn)
 }
 
 // finishTx frees the pending back to the host-managed pool and posts the
@@ -202,8 +335,9 @@ func (n *NIC) txComplete(req *TxReq) {
 func (n *NIC) finishTx(req *TxReq, ok bool) {
 	proc := n.procForPid(req.Pid)
 	if req.pending != nil {
-		fresh := &Pending{proc: proc, tx: true}
-		proc.txFree = append(proc.txFree, fresh)
+		p := req.pending
+		p.req = nil
+		proc.txFree = append(proc.txFree, p)
 		req.pending = nil
 	}
 	ev := Event{Kind: EvTxDone, Tx: req, OK: ok}

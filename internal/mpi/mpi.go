@@ -135,6 +135,10 @@ type Rank struct {
 	fence core.MEHandle
 
 	unexpected []*unexpMsg
+	// reqFree recycles Requests whose lifetime the blocking wrappers fully
+	// own (Send/Recv/Sendrecv); Isend/Irecv handles returned to callers are
+	// never pooled.
+	reqFree []*Request
 	// sinkInflight counts messages that have started arriving into sinks
 	// (PUT_START seen) but not yet completed (PUT_END pending); the arming
 	// protocol refuses to arm a posted receive while any are outstanding,

@@ -23,6 +23,35 @@ type Request struct {
 	me      core.MEHandle // posted receive entry
 	md      core.MDHandle // posted receive descriptor / send descriptor
 	rdvMD   core.MDHandle // rendezvous: exposed send buffer or get descriptor
+
+	// tag and win are embedded so building a request needs no satellite
+	// allocations: tag is the descriptor user pointer, win the narrowed
+	// receive/expose window.
+	tag reqTag
+	win regionWindow
+}
+
+// newRequest builds a request with its event tag pointing back at it.
+func (r *Rank) newRequest() *Request {
+	if n := len(r.reqFree); n > 0 {
+		req := r.reqFree[n-1]
+		r.reqFree[n-1] = nil
+		r.reqFree = r.reqFree[:n-1]
+		*req = Request{r: r}
+		req.tag.req = req
+		return req
+	}
+	req := &Request{r: r}
+	req.tag.req = req
+	return req
+}
+
+// freeRequest recycles a completed request. Only the blocking wrappers call
+// it: they own the request end to end, its descriptors are unlinked by the
+// time Wait returns, and the handle never escapes to the application.
+func (r *Rank) freeRequest(req *Request) {
+	*req = Request{}
+	r.reqFree = append(r.reqFree, req)
 }
 
 // Done reports completion without progressing the engine.
@@ -48,7 +77,7 @@ func (r *Rank) Isend(dst, tag int, buf core.Region, off, n int) *Request {
 		r.fatal("Isend to bad rank %d", dst)
 	}
 	r.charge(r.cfg.SendCycles)
-	req := &Request{r: r}
+	req := r.newRequest()
 	bits := envBits(r.ctx, r.rank, tag)
 	if n <= r.cfg.EagerMax {
 		r.EagerSends++
@@ -57,7 +86,7 @@ func (r *Rank) Isend(dst, tag int, buf core.Region, off, n int) *Request {
 			Threshold: core.ThresholdInfinite,
 			Options:   core.MDEventStartDisable,
 			EQ:        r.eq,
-			User:      &reqTag{req: req},
+			User:      &req.tag,
 		})
 		if err != nil {
 			r.fatal("eager MDBind: %v", err)
@@ -79,12 +108,13 @@ func (r *Rank) Isend(dst, tag int, buf core.Region, off, n int) *Request {
 	if err != nil {
 		r.fatal("rdv MEAttach: %v", err)
 	}
+	req.win = regionWindow{buf, off, n}
 	rmd, err := r.api.MDAttach(rme, core.MDesc{
-		Region:    regionWindow{buf, off, n},
+		Region:    &req.win,
 		Threshold: 1,
 		Options:   core.MDOpGet | core.MDManageRemote | core.MDEventStartDisable,
 		EQ:        r.eq,
-		User:      &reqTag{req: req},
+		User:      &req.tag,
 	}, core.UnlinkAuto)
 	if err != nil {
 		r.fatal("rdv MDAttach: %v", err)
@@ -114,7 +144,9 @@ func (r *Rank) Isend(dst, tag int, buf core.Region, off, n int) *Request {
 
 // Send is the blocking send: it returns when the buffer is reusable.
 func (r *Rank) Send(dst, tag int, buf core.Region, off, n int) {
-	r.Isend(dst, tag, buf, off, n).Wait()
+	req := r.Isend(dst, tag, buf, off, n)
+	req.Wait()
+	r.freeRequest(req)
 }
 
 // ---- Receive ----
@@ -123,10 +155,13 @@ func (r *Rank) Send(dst, tag int, buf core.Region, off, n int) {
 // be AnySource / AnyTag.
 func (r *Rank) Irecv(src, tag int, buf core.Region, off, n int) *Request {
 	r.charge(r.cfg.RecvCycles)
-	req := &Request{
-		r: r, isRecv: true, buf: buf, off: off, maxLen: n,
-		wantSrc: src, wantTag: tag,
-	}
+	req := r.newRequest()
+	req.isRecv = true
+	req.buf = buf
+	req.off = off
+	req.maxLen = n
+	req.wantSrc = src
+	req.wantTag = tag
 	// The race-free posted-receive protocol: create the entry with an
 	// inactive (threshold 0) descriptor, search the unexpected queue, then
 	// activate with a conditional MDUpdate that fails if any event snuck
@@ -148,12 +183,13 @@ func (r *Rank) Irecv(src, tag int, buf core.Region, off, n int) *Request {
 	if err != nil {
 		r.fatal("posted MEInsert: %v", err)
 	}
+	req.win = regionWindow{buf, off, n}
 	desc := core.MDesc{
-		Region:    regionWindow{buf, off, n},
+		Region:    &req.win,
 		Threshold: 0,
 		Options:   core.MDOpPut | core.MDTruncate | core.MDEventStartDisable,
 		EQ:        r.eq,
-		User:      &reqTag{req: req},
+		User:      &req.tag,
 	}
 	md, err := r.api.MDAttach(me, desc, core.UnlinkAuto)
 	if err != nil {
@@ -192,7 +228,10 @@ func (r *Rank) Irecv(src, tag int, buf core.Region, off, n int) *Request {
 
 // Recv is the blocking receive; it returns the delivered byte count.
 func (r *Rank) Recv(src, tag int, buf core.Region, off, n int) int {
-	return r.Irecv(src, tag, buf, off, n).Wait()
+	req := r.Irecv(src, tag, buf, off, n)
+	n = req.Wait()
+	r.freeRequest(req)
+	return n
 }
 
 // Sendrecv performs the classic simultaneous exchange.
@@ -201,7 +240,10 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendBuf core.Region, sendOff, sendN in
 	rq := r.Irecv(src, recvTag, recvBuf, recvOff, recvN)
 	sq := r.Isend(dst, sendTag, sendBuf, sendOff, sendN)
 	sq.Wait()
-	return rq.Wait()
+	n := rq.Wait()
+	r.freeRequest(sq)
+	r.freeRequest(rq)
+	return n
 }
 
 // consumeUnexpected completes a receive from an already-arrived message.
@@ -239,7 +281,7 @@ func (r *Rank) startGet(req *Request, sender core.ProcessID, seq uint64, rlen in
 		Threshold: core.ThresholdInfinite,
 		Options:   core.MDEventStartDisable,
 		EQ:        r.eq,
-		User:      &reqTag{req: req},
+		User:      &req.tag,
 	})
 	if err != nil {
 		r.fatal("rdv get MDBind: %v", err)

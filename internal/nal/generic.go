@@ -29,8 +29,17 @@ type GenericDriver struct {
 
 	libs map[uint32]*core.Lib
 
-	evq     []fw.Event
+	evq     []fw.Event // pending firmware events; evqHead indexes the next one
+	evqHead int
 	backlog []*fw.TxReq // transmit requests awaiting a free TX pending
+
+	// drainFn and doneFn are drain's continuations, bound once — the drain
+	// loop runs per event and a fresh method value per pass is measurable.
+	drainFn func()
+	doneFn  func()
+	evjFree []*evJob
+	rcbFree []*rxCb
+	scbFree []*sendCb
 
 	// Stats for tests and reports.
 	EventsHandled uint64
@@ -41,10 +50,12 @@ type GenericDriver struct {
 // (with the paper's pending pool size) and installs the interrupt handler.
 func NewGeneric(k *oskernel.Kernel, nic *fw.NIC, tp *topo.Topology, p *model.Params) (*GenericDriver, error) {
 	d := &GenericDriver{S: k.S, P: p, K: k, NIC: nic, Topo: tp, libs: make(map[uint32]*core.Lib)}
+	d.drainFn = d.drain
+	d.doneFn = func() { d.K.InterruptDone() }
 	if _, err := nic.RegisterGeneric(p.NumGenericPendings, d.fwEvent); err != nil {
 		return nil, err
 	}
-	k.SetInterruptHandler(d.drain)
+	k.SetInterruptHandler(d.drainFn)
 	return d, nil
 }
 
@@ -83,28 +94,64 @@ func (b *procBackend) Distance(nid uint32) int {
 // it, holding it in a backlog when the host-managed pending pool is empty.
 func (d *GenericDriver) send(pid uint32, req *core.SendReq) {
 	lib := d.libs[pid]
-	tx := &fw.TxReq{
-		Pid: pid,
-		Hdr: req.Hdr,
-		Off: req.Off,
-		Len: req.Len,
-	}
+	tx := d.NIC.AllocTxReq()
+	tx.Pid = pid
+	tx.Hdr = req.Hdr
+	tx.Off = req.Off
+	tx.Len = req.Len
 	if req.Region != nil {
 		tx.Buf = req.Region
 	}
-	creq := req
 	switch {
-	case req.RxOp != nil:
-		// A get reply: completing the transmission completes the target
-		// side of the get.
-		tx.Done = func(ok bool) { lib.ReplySent(creq.RxOp) }
-	case req.Hdr.Type == wire.TypePut:
-		tx.Done = func(ok bool) { lib.SendDone(creq, ok) }
-	default:
-		// Gets and acks carry no local completion semantics.
-		tx.Done = nil
+	case req.RxOp != nil, req.Hdr.Type == wire.TypePut:
+		// A get reply completes the target side of the get at TX done; a
+		// put posts SEND_END. Gets and acks carry no local completion
+		// semantics and leave Done nil.
+		c := d.getSendCb()
+		c.lib = lib
+		c.req = req
+		tx.Done = c.fn
+		d.submit(tx)
+		return
 	}
 	d.submit(tx)
+	// No completion callback: the transmit command carries everything the
+	// firmware needs, so the request is done.
+	lib.FreeSendReq(req)
+}
+
+// sendCb carries a send's TX-done completion (the lib and the originating
+// request) with the callback bound once, replacing a per-send closure.
+type sendCb struct {
+	d   *GenericDriver
+	lib *core.Lib
+	req *core.SendReq
+	fn  func(ok bool)
+}
+
+func (d *GenericDriver) getSendCb() *sendCb {
+	if k := len(d.scbFree); k > 0 {
+		c := d.scbFree[k-1]
+		d.scbFree = d.scbFree[:k-1]
+		return c
+	}
+	c := &sendCb{d: d}
+	c.fn = c.run
+	return c
+}
+
+func (c *sendCb) run(ok bool) {
+	d, lib, req := c.d, c.lib, c.req
+	c.lib, c.req = nil, nil
+	d.scbFree = append(d.scbFree, c)
+	if req.RxOp != nil {
+		// A get reply: completing the transmission completes the target
+		// side of the get.
+		lib.ReplySent(req.RxOp)
+		lib.FreeSendReq(req)
+		return
+	}
+	lib.SendDone(req, ok)
 }
 
 func (d *GenericDriver) submit(tx *fw.TxReq) {
@@ -127,154 +174,276 @@ func (d *GenericDriver) fwEvent(ev fw.Event) {
 // processes all of the new events in the generic EQ each time it is
 // invoked", §4.1).
 func (d *GenericDriver) drain() {
-	if len(d.evq) == 0 {
+	if d.evqHead == len(d.evq) {
+		d.evq = d.evq[:0] // drained: rewind so the buffer's capacity is reused
+		d.evqHead = 0
 		d.K.InterruptDone()
 		return
 	}
-	ev := d.evq[0]
-	d.evq = d.evq[1:]
+	ev := d.evq[d.evqHead]
+	d.evqHead++
+	if d.evqHead == len(d.evq) {
+		// Last pending event taken: rewind now so the buffer never grows
+		// without bound (under NoCoalesce the empty-queue entry path above
+		// may never run).
+		d.evq = d.evq[:0]
+		d.evqHead = 0
+	}
 	d.EventsHandled++
-	next := d.drain
+	next := d.drainFn
 	if d.K.NoCoalesce {
 		// Ablation: one event per interrupt — finish after this event and
 		// let the pending raises take fresh interrupts.
-		next = func() { d.K.InterruptDone() }
+		next = d.doneFn
 	}
 	if ev.Kind == fw.EvNewHeader {
 		// Header processing charges in two stages: the fixed matching cost
 		// runs before the library walk (whose events first become visible
 		// to applications), then the walk-dependent and command-building
 		// cost before the firmware command goes out.
-		d.K.KernelWork(d.P.HostMatchBaseCycles, func() {
-			cycles, apply := d.processHeader(ev)
-			d.K.KernelWork(cycles, func() {
-				apply()
-				next()
-			})
-		})
+		j := d.getEvJob()
+		j.ev = ev
+		j.next = next
+		d.K.KernelWork(d.P.HostMatchBaseCycles, j.matchFn)
 		return
 	}
-	cycles, apply := d.process(ev)
-	d.K.KernelWork(cycles, func() {
-		apply()
-		next()
-	})
+	j := d.getEvJob()
+	j.ev = ev
+	j.next = next
+	cycles := d.process(j, ev)
+	d.K.KernelWork(cycles, j.applyFn)
 }
 
-// process maps one firmware event to its host cost and its state change.
-// The cost is charged before apply runs, so downstream effects (commands,
-// application events) happen at the right time.
-func (d *GenericDriver) process(ev fw.Event) (cycles int64, apply func()) {
+// evAction names the state change an evJob applies once its kernel cycles
+// have been charged; with the carrier's fields (lib, op) it replaces a
+// per-event apply closure.
+type evAction int
+
+const (
+	evActNone      evAction = iota
+	evActRxDone             // completion callback + release
+	evActTxDone             // Done callback + backlog retry + request recycle
+	evActDropNoLib          // no process for the pid: discard, no lock held
+	evActRelease            // ack (library already posted): release
+	evActDrop               // matching dropped the message: discard
+	evActReply              // get request: transmit the reply
+	evActInline             // payload arrived inline: deposit and finish
+	evActRxCmd              // payload follows: issue the receive command
+)
+
+// evJob carries one firmware event through drain's staged kernel-work
+// charges; the stage callbacks are bound once and the carrier recycled, so
+// the per-event path allocates nothing.
+type evJob struct {
+	d       *GenericDriver
+	ev      fw.Event
+	next    func()
+	action  evAction
+	lib     *core.Lib // locked library, for actions that must unlock it
+	op      *core.RxOp
+	matchFn func() // fixed matching cost charged; run the library walk
+	applyFn func() // walk-dependent cost charged; apply and continue
+}
+
+func (d *GenericDriver) getEvJob() *evJob {
+	if k := len(d.evjFree); k > 0 {
+		j := d.evjFree[k-1]
+		d.evjFree = d.evjFree[:k-1]
+		return j
+	}
+	j := &evJob{d: d}
+	j.matchFn = j.match
+	j.applyFn = j.applyNext
+	return j
+}
+
+func (j *evJob) match() {
+	cycles := j.d.processHeader(j, j.ev)
+	j.d.K.KernelWork(cycles, j.applyFn)
+}
+
+func (j *evJob) applyNext() {
+	d, ev, next := j.d, j.ev, j.next
+	action, lib, op := j.action, j.lib, j.op
+	j.ev = fw.Event{}
+	j.next = nil
+	j.action = evActNone
+	j.lib, j.op = nil, nil
+	d.evjFree = append(d.evjFree, j)
+	d.apply(action, ev, lib, op)
+	next()
+}
+
+// apply performs the state change for one processed event. It runs after
+// the event's kernel cycles were charged, so downstream effects (commands,
+// application events) happen at the right time. Actions below evActDropNoLib
+// never hold the library lock; the rest entered through processHeader, which
+// locked and deferred the library, and unlock it here.
+func (d *GenericDriver) apply(action evAction, ev fw.Event, lib *core.Lib, op *core.RxOp) {
+	switch action {
+	case evActRxDone:
+		if done := ev.Pending.Done(); done != nil {
+			done(ev.OK)
+		}
+		ev.Pending.Release()
+		return
+	case evActTxDone:
+		tx := ev.Tx
+		if tx.Done != nil {
+			tx.Done(ev.OK)
+		}
+		// A pending returned to the pool: retry backlogged sends.
+		for len(d.backlog) > 0 {
+			btx := d.backlog[0]
+			if err := d.NIC.SubmitTx(btx); err != nil {
+				break
+			}
+			d.backlog = d.backlog[1:]
+		}
+		d.NIC.RecycleTxReq(tx)
+		return
+	case evActDropNoLib:
+		p := ev.Pending
+		if !p.Complete() {
+			p.Discard()
+		}
+		p.Release()
+		return
+	case evActNone:
+		return
+	}
+	p := ev.Pending
+	switch action {
+	case evActRelease:
+		p.Release()
+	case evActDrop:
+		if !p.Complete() {
+			p.Discard()
+		}
+		p.Release()
+	case evActReply:
+		// Get request: transmit the reply before the GET_START event
+		// becomes visible — one pass through the handler.
+		d.send(p.Hdr.DstPid, op.Reply)
+		p.Release()
+	case evActInline:
+		// Whole payload arrived with the header (≤12 B inline): deposit
+		// from the upper pending and finish — one interrupt total.
+		mlen := op.MLen
+		if mlen > len(p.Inline) {
+			mlen = len(p.Inline)
+		}
+		if mlen > 0 {
+			op.Region.WriteAt(op.Off, p.Inline[:mlen])
+		}
+		if ack := lib.Delivered(op, ev.OK); ack != nil {
+			d.send(p.Hdr.DstPid, ack)
+		}
+		p.Release()
+	case evActRxCmd:
+		// Payload follows: answer with the receive command.
+		c := d.getRxCb()
+		c.lib = lib
+		c.op = op
+		c.pid = p.Hdr.DstPid
+		p.SubmitRx(op.Region, op.Off, op.MLen, c.fn)
+	}
+	lib.EndDefer()
+	lib.Unlock()
+}
+
+// rxCb carries a long message's delivery completion (invoked at RX_DONE)
+// with the callback bound once, replacing a per-message closure.
+type rxCb struct {
+	d   *GenericDriver
+	lib *core.Lib
+	op  *core.RxOp
+	pid uint32
+	fn  func(ok bool)
+}
+
+func (d *GenericDriver) getRxCb() *rxCb {
+	if k := len(d.rcbFree); k > 0 {
+		c := d.rcbFree[k-1]
+		d.rcbFree = d.rcbFree[:k-1]
+		return c
+	}
+	c := &rxCb{d: d}
+	c.fn = c.run
+	return c
+}
+
+func (c *rxCb) run(ok bool) {
+	d, lib, op, pid := c.d, c.lib, c.op, c.pid
+	c.lib, c.op = nil, nil
+	d.rcbFree = append(d.rcbFree, c)
+	if ack := lib.Delivered(op, ok); ack != nil {
+		d.send(pid, ack)
+	}
+}
+
+// process maps one non-header firmware event to its host cost, recording
+// the resulting action on the carrier.
+func (d *GenericDriver) process(j *evJob, ev fw.Event) int64 {
 	switch ev.Kind {
 	case fw.EvRxDone:
-		return d.P.HostEventCycles, func() {
-			if done := ev.Pending.Done(); done != nil {
-				done(ev.OK)
-			}
-			ev.Pending.Release()
-		}
+		j.action = evActRxDone
+		return d.P.HostEventCycles
 	case fw.EvTxDone:
-		return d.P.HostEventCycles, func() {
-			if ev.Tx.Done != nil {
-				ev.Tx.Done(ev.OK)
-			}
-			// A pending returned to the pool: retry backlogged sends.
-			for len(d.backlog) > 0 {
-				tx := d.backlog[0]
-				if err := d.NIC.SubmitTx(tx); err != nil {
-					break
-				}
-				d.backlog = d.backlog[1:]
-			}
-		}
+		j.action = evActTxDone
+		return d.P.HostEventCycles
 	}
-	return 0, func() {}
+	j.action = evActNone
+	return 0
 }
 
 // processHeader performs the Portals processing for a new message header:
-// matching on the host (this is generic mode), then the receive command,
-// inline completion, reply transmission or discard. The fixed matching
-// cost was charged by the caller before this runs; the returned cycles
-// cover the walk-dependent and command-building work.
-func (d *GenericDriver) processHeader(ev fw.Event) (int64, func()) {
+// matching on the host (this is generic mode), recording the follow-up
+// action (receive command, inline completion, reply transmission, discard)
+// on the carrier. The fixed matching cost was charged by the caller before
+// this runs; the returned cycles cover the walk-dependent and
+// command-building work.
+//
+// Events the library posts during this message's processing wake their
+// waiters only once the apply phase completes, and the library is locked
+// against API calls meanwhile (the kernel-lock serialization the receive
+// protocols depend on); apply unlocks it.
+func (d *GenericDriver) processHeader(j *evJob, ev fw.Event) int64 {
 	p := ev.Pending
 	hdr := p.Hdr
 	lib := d.libs[hdr.DstPid]
 	if lib == nil {
 		d.Drops++
-		return 0, func() {
-			if !p.Complete() {
-				p.Discard()
-			}
-			p.Release()
-		}
+		j.action = evActDropNoLib
+		return 0
 	}
-	// Events the library posts during this message's processing wake
-	// their waiters only once the handler's apply phase completes, and the
-	// library is locked against API calls meanwhile (the kernel-lock
-	// serialization the receive protocols depend on).
 	lib.Lock()
 	lib.BeginDefer()
-	done := func(cycles int64, apply func()) (int64, func()) {
-		return cycles, func() {
-			apply()
-			lib.EndDefer()
-			lib.Unlock()
-		}
-	}
+	j.lib = lib
 	op := lib.Receive(&hdr)
 	if op == nil {
 		// An acknowledgment: the library posted the ACK event already.
-		return done(d.P.HostEventCycles, func() { p.Release() })
+		j.action = evActRelease
+		return d.P.HostEventCycles
 	}
+	j.op = op
 	cycles := int64(op.Walked) * d.P.HostMatchPerME
-	if op.Drop {
-		d.Drops++
-		return done(cycles, func() {
-			if !p.Complete() {
-				p.Discard()
-			}
-			p.Release()
-		})
-	}
 	switch {
+	case op.Drop:
+		d.Drops++
+		j.action = evActDrop
+		return cycles
 	case op.Reply != nil:
-		// Get request: build and transmit the reply before the GET_START
-		// event becomes visible — one pass through the handler.
-		cycles += d.P.HostTxSetupCycles + d.P.HostGetReplyCycles + d.segCycles(op.Region, op.Off, op.MLen)
-		return done(cycles, func() {
-			d.send(hdr.DstPid, op.Reply)
-			p.Release()
-		})
+		j.action = evActReply
+		return cycles + d.P.HostTxSetupCycles + d.P.HostGetReplyCycles + d.segCycles(op.Region, op.Off, op.MLen)
 	case p.Complete():
-		// Whole payload arrived with the header (≤12 B inline): deposit
-		// from the upper pending and finish — one interrupt total.
-		cycles += d.P.HostEventCycles
-		return done(cycles, func() {
-			mlen := op.MLen
-			if mlen > len(p.Inline) {
-				mlen = len(p.Inline)
-			}
-			if mlen > 0 {
-				op.Region.WriteAt(op.Off, p.Inline[:mlen])
-			}
-			if ack := lib.Delivered(op, ev.OK); ack != nil {
-				d.send(hdr.DstPid, ack)
-			}
-			p.Release()
-		})
+		j.action = evActInline
+		return cycles + d.P.HostEventCycles
 	default:
-		// Payload follows: answer with the receive command. The host
-		// pre-computes per-page DMA commands for paged buffers (§3.3).
-		cycles += d.P.HostRxCmdCycles + d.segCycles(op.Region, op.Off, op.MLen)
-		return done(cycles, func() {
-			pid := hdr.DstPid
-			p.SubmitRx(op.Region, op.Off, op.MLen, func(ok bool) {
-				if ack := lib.Delivered(op, ok); ack != nil {
-					d.send(pid, ack)
-				}
-			})
-		})
+		// The host pre-computes per-page DMA commands for paged buffers
+		// (§3.3).
+		j.action = evActRxCmd
+		return cycles + d.P.HostRxCmdCycles + d.segCycles(op.Region, op.Off, op.MLen)
 	}
 }
 

@@ -1,0 +1,88 @@
+package netpipe
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment driver. Every measurement in the
+// figure and ablation suite builds, runs and tears down its own isolated
+// simulated machine (its own Sim, fabric, nodes and processes), so the
+// sweep arms are embarrassingly parallel: the only shared state is the
+// read-only model.Params value each job copies. The driver fans jobs out
+// across a bounded pool of OS-scheduled workers while keeping the results
+// — and therefore every rendered table — in deterministic input order.
+
+// Job is one isolated measurement: it owns everything it touches and may
+// run on any worker.
+type Job func() Result
+
+// ForEach runs fn(0) … fn(n-1) across a bounded pool of worker goroutines
+// and returns once every call has completed. workers ≤ 0 means GOMAXPROCS;
+// one worker (or one job) runs inline on the caller's goroutine, so
+// sequential runs have zero scheduling overhead and no goroutine churn.
+//
+// Indices are handed out dynamically (work stealing via a shared counter),
+// which keeps long arms — the 8 MB put sweep — from serializing behind
+// short ones. Determinism is the caller's job: each index must write only
+// its own result slot. A panic in any fn is re-raised on the caller's
+// goroutine after all workers finish.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// RunConcurrent executes jobs on the ForEach pool and assembles the
+// results in input order, so a parallel run renders byte-identically to a
+// sequential one.
+func RunConcurrent(workers int, jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	ForEach(workers, len(jobs), func(i int) { out[i] = jobs[i]() })
+	return out
+}

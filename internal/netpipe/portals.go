@@ -2,12 +2,34 @@ package netpipe
 
 import (
 	"fmt"
+	"sync"
 
 	"portals3/internal/core"
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/sim"
 )
+
+// The transmit payload pattern is shared by every sweep: one append-only
+// buffer, grown under a lock to the largest size any run has asked for,
+// instead of building (and garbage-collecting) a fresh 8 MB pattern per
+// sweep point. Existing bytes are never rewritten, so a slice handed out
+// here stays valid even while another driver worker grows the buffer.
+var (
+	fillMu  sync.Mutex
+	fillPat []byte
+)
+
+// payloadPattern returns n deterministic payload bytes (byte i is i*11,
+// NetPIPE's fill).
+func payloadPattern(n int) []byte {
+	fillMu.Lock()
+	defer fillMu.Unlock()
+	for len(fillPat) < n {
+		fillPat = append(fillPat, byte(len(fillPat)*11))
+	}
+	return fillPat[:n:n]
+}
 
 // This file is the NetPIPE Portals module of paper §5.2: it "creates a
 // memory descriptor for receiving messages on a Portal with a single match
@@ -62,11 +84,7 @@ func npSetup(app *machine.App, maxBytes int, peer core.ProcessID, op Op) *npSide
 		panic(err)
 	}
 	s.txBuf = app.Alloc(maxBytes)
-	fill := make([]byte, maxBytes)
-	for i := range fill {
-		fill[i] = byte(i * 11)
-	}
-	s.txBuf.WriteAt(0, fill)
+	s.txBuf.WriteAt(0, payloadPattern(maxBytes))
 	s.sendMD, err = app.API.MDBind(core.MDesc{
 		Region:    s.txBuf,
 		Threshold: core.ThresholdInfinite,

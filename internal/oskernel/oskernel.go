@@ -124,11 +124,15 @@ func (k *Kernel) RaiseInterrupt() {
 	}
 	k.irqActive = true
 	k.Interrupts++
-	k.CPU.Submit(k.P.InterruptOverhead, func() {
-		k.Trace.Span(int(k.Node), trace.TrackHost, "os", "interrupt",
-			k.S.Now()-k.P.InterruptOverhead, k.P.InterruptOverhead, nil)
-		k.irqHandler()
-	})
+	if k.Trace.Enabled() {
+		k.CPU.Submit(k.P.InterruptOverhead, func() {
+			k.Trace.Span(int(k.Node), trace.TrackHost, "os", "interrupt",
+				k.S.Now()-k.P.InterruptOverhead, k.P.InterruptOverhead, nil)
+			k.irqHandler()
+		})
+		return
+	}
+	k.CPU.Submit(k.P.InterruptOverhead, k.irqHandler)
 }
 
 // InterruptDone re-arms interrupt delivery; the handler calls it after
@@ -146,13 +150,15 @@ func (k *Kernel) InterruptDone() {
 // when they complete.
 func (k *Kernel) KernelWork(cycles int64, fn func()) {
 	dur := k.P.HostCycles(cycles)
-	k.CPU.Submit(dur, func() {
-		if dur > 0 {
+	if dur > 0 && k.Trace.Enabled() {
+		k.CPU.Submit(dur, func() {
 			k.Trace.Span(int(k.Node), trace.TrackHost, "os", "portals-processing",
 				k.S.Now()-dur, dur, nil)
-		}
-		fn()
-	})
+			fn()
+		})
+		return
+	}
+	k.CPU.Submit(dur, fn)
 }
 
 // NewRegion allocates application memory the way this OS does: one

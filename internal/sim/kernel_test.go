@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Tests for the two-lane event kernel: the 4-ary heap plus the
+// same-timestamp FIFO fast lane must dispatch in exactly the
+// (time, insertion order) sequence the original single-heap kernel did.
+
+// TestDispatchOrderMatchesSpec is a differential test: a randomized,
+// self-rescheduling workload mixing zero delays (ring lane), small delays
+// and large delays (heap lane) must fire in exactly the order given by a
+// stable sort of the schedule requests on timestamp — which is the kernel's
+// documented (time, insertion order) contract.
+func TestDispatchOrderMatchesSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	type rec struct {
+		at  Time
+		idx int
+	}
+	var scheduled []rec
+	var fired []int
+	var schedule func(depth int)
+	n := 0
+	schedule = func(depth int) {
+		k := rng.Intn(4) + 1
+		for i := 0; i < k; i++ {
+			var d Time
+			switch rng.Intn(3) {
+			case 0:
+				d = 0 // ring lane
+			case 1:
+				d = Time(rng.Intn(3)) * Nanosecond // collides with ring entries
+			default:
+				d = Time(rng.Intn(50)) * Nanosecond
+			}
+			idx := n
+			n++
+			scheduled = append(scheduled, rec{at: s.Now() + d, idx: idx})
+			s.After(d, func() {
+				fired = append(fired, idx)
+				if depth < 5 && rng.Intn(2) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+	}
+	for root := 0; root < 25; root++ {
+		schedule(0)
+	}
+	s.Run()
+
+	expect := append([]rec(nil), scheduled...)
+	sort.SliceStable(expect, func(i, j int) bool { return expect[i].at < expect[j].at })
+	if len(fired) != len(expect) {
+		t.Fatalf("fired %d of %d scheduled events", len(fired), len(expect))
+	}
+	for i := range expect {
+		if fired[i] != expect[i].idx {
+			t.Fatalf("dispatch %d: fired event %d, spec says %d", i, fired[i], expect[i].idx)
+		}
+	}
+	if n < 100 {
+		t.Fatalf("workload too small to be meaningful: %d events", n)
+	}
+}
+
+// TestZeroDelayRunsAfterSameTimeHeapEntries pins the subtle ordering case:
+// events already in the heap for time T were scheduled before the clock
+// reached T, so they must run before any zero-delay event scheduled from
+// within T's first handler.
+func TestZeroDelayRunsAfterSameTimeHeapEntries(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.After(5*Nanosecond, func() {
+			if i == 0 {
+				// Scheduled mid-timestamp: both forms take the fast lane and
+				// must still run after the two remaining heap entries.
+				s.After(0, func() { order = append(order, 10) })
+				s.At(s.Now(), func() { order = append(order, 11) })
+			}
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	want := []int{0, 1, 2, 10, 11}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestZeroDelayChainStaysAtNow: a long chain of zero-delay handlers must
+// not advance the clock, and every link must fire.
+func TestZeroDelayChainStaysAtNow(t *testing.T) {
+	s := New()
+	s.After(3*Nanosecond, func() {})
+	s.Run() // put the clock at a non-zero time first
+	const depth = 10_000
+	n := 0
+	var link func()
+	link = func() {
+		if s.Now() != 3*Nanosecond {
+			t.Fatalf("clock moved to %v inside zero-delay chain", s.Now())
+		}
+		n++
+		if n < depth {
+			s.After(0, link)
+		}
+	}
+	s.After(0, link)
+	s.Run()
+	if n != depth {
+		t.Fatalf("chain fired %d of %d links", n, depth)
+	}
+}
+
+// TestRunUntilWithZeroDelayCascade: zero-delay work spawned by an event
+// exactly at the horizon still belongs to the horizon and must run; later
+// heap events must not.
+func TestRunUntilWithZeroDelayCascade(t *testing.T) {
+	s := New()
+	var ran []string
+	s.After(10*Nanosecond, func() {
+		s.After(0, func() { ran = append(ran, "cascade") })
+		ran = append(ran, "edge")
+	})
+	s.After(20*Nanosecond, func() { ran = append(ran, "late") })
+	s.RunUntil(10 * Nanosecond)
+	if len(ran) != 2 || ran[0] != "edge" || ran[1] != "cascade" {
+		t.Fatalf("ran = %v, want [edge cascade]", ran)
+	}
+	if s.Now() != 10*Nanosecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(30 * Nanosecond)
+	if len(ran) != 3 || ran[2] != "late" {
+		t.Fatalf("ran = %v", ran)
+	}
+	if s.Now() != 30*Nanosecond {
+		t.Fatalf("now = %v, want 30ns", s.Now())
+	}
+}
+
+// TestStopInsideZeroDelayLane: Stop from a ring-lane handler halts the loop
+// with the rest of the ring still pending, and a later Run resumes it at
+// the same timestamp.
+func TestStopInsideZeroDelayLane(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(0, func() { order = append(order, 1); s.Stop() })
+	s.After(0, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order = %v, want [1]", order)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("zero-delay events moved the clock to %v", s.Now())
+	}
+}
+
+// TestPastSchedulingPanicsAfterAdvance: the past-scheduling guard must hold
+// for both lanes once the clock has moved.
+func TestPastSchedulingPanicsAfterAdvance(t *testing.T) {
+	s := New()
+	s.After(10*Nanosecond, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling At() in the past")
+		}
+	}()
+	s.At(5*Nanosecond, func() {})
+}
+
+// TestNegativeAfterClampsToNow: After with a negative delay is a zero-delay
+// schedule, never a past schedule.
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := New()
+	ran := false
+	s.After(4*Nanosecond, func() {
+		s.After(-3*Nanosecond, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if s.Now() != 4*Nanosecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+// TestRingGrowthPreservesFIFO: pushing far past the ring's initial capacity
+// from inside a single timestamp must keep strict FIFO order across the
+// unwrap-and-copy growth path.
+func TestRingGrowthPreservesFIFO(t *testing.T) {
+	s := New()
+	const n = 1000
+	var order []int
+	s.After(Nanosecond, func() {
+		for i := 0; i < n; i++ {
+			i := i
+			s.After(0, func() { order = append(order, i) })
+		}
+	})
+	s.Run()
+	if len(order) != n {
+		t.Fatalf("fired %d of %d", len(order), n)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Fatal("ring growth broke FIFO order")
+	}
+}
+
+// TestHeapStressManyPending keeps a deep heap live and checks the 4-ary
+// sift paths by firing thousands of events in nondecreasing time order.
+func TestHeapStressManyPending(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := New()
+	var last Time = -1
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		s.After(Time(rng.Intn(10_000))*Nanosecond, func() {
+			if s.Now() < last {
+				t.Fatalf("time went backwards: %v after %v", s.Now(), last)
+			}
+			last = s.Now()
+			fired++
+		})
+	}
+	s.Run()
+	if fired != 5000 {
+		t.Fatalf("fired %d of 5000", fired)
+	}
+}
+
+// TestMaxEventsGuardCoversRingLane: the runaway guard must also trip on a
+// zero-delay livelock, which never advances the clock.
+func TestMaxEventsGuardCoversRingLane(t *testing.T) {
+	s := New()
+	s.MaxEvents = 100
+	var loop func()
+	loop = func() { s.After(0, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected runaway panic from zero-delay livelock")
+		}
+	}()
+	s.Run()
+}

@@ -17,6 +17,7 @@ type Proc struct {
 
 	resume chan struct{} // simulator -> process: you may run
 	parked chan struct{} // process -> simulator: I am blocked again
+	wakeFn func()        // p.wake bound once; Sleep runs hot, a fresh method value per call is measurable
 	dead   bool
 }
 
@@ -29,6 +30,7 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.wakeFn = p.wake
 	s.procs++
 	go func() {
 		<-p.resume // wait for the start event
@@ -37,7 +39,7 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 		p.s.procs--
 		p.parked <- struct{}{}
 	}()
-	s.After(0, p.wake)
+	s.After(0, p.wakeFn)
 	return p
 }
 
@@ -72,7 +74,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.s.After(d, p.wake)
+	p.s.After(d, p.wakeFn)
 	p.park()
 }
 
@@ -93,6 +95,11 @@ type Signal struct {
 	s       *Sim
 	procs   []*Proc
 	callbks []func()
+
+	// Drained waiter arrays from the last Raise, handed back to the live
+	// slices so steady-state Wait/Notify never reallocates.
+	procsSpare   []*Proc
+	callbksSpare []func()
 }
 
 // NewSignal returns a signal bound to s.
@@ -143,14 +150,27 @@ func (g *Signal) Notify(fn func()) {
 func (g *Signal) Raise() {
 	procs := g.procs
 	cbs := g.callbks
-	g.procs = nil
-	g.callbks = nil
+	// New waiters go into the spare arrays (ping-pong buffering). The spares
+	// are nilled while we iterate so a nested Raise from a woken process
+	// falls back to fresh slices instead of scribbling over this iteration.
+	g.procs = g.procsSpare[:0]
+	g.callbks = g.callbksSpare[:0]
+	g.procsSpare = nil
+	g.callbksSpare = nil
 	for _, fn := range cbs {
 		fn()
 	}
 	for _, p := range procs {
 		p.wake()
 	}
+	for i := range procs {
+		procs[i] = nil
+	}
+	for i := range cbs {
+		cbs[i] = nil
+	}
+	g.procsSpare = procs[:0]
+	g.callbksSpare = cbs[:0]
 }
 
 // HasWaiters reports whether any process or callback is currently waiting.

@@ -1,45 +1,52 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback. Events are stored inline (by value) in
+// the kernel's queues: pushing one costs no heap allocation and popping one
+// touches no pointer indirection. The queue backing arrays are the free
+// list — popped slots are cleared and their storage reused by later pushes.
 type event struct {
 	at  Time
 	seq uint64 // insertion order, breaks ties deterministically
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less is the global dispatch order: time first, insertion order second.
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
-// Sim is a discrete-event simulator: a virtual clock and an event heap.
-// It is not safe for concurrent use; all model code runs on the simulator's
-// goroutine (coroutine processes hand control back and forth, never run in
-// parallel).
+// Sim is a discrete-event simulator: a virtual clock and a two-lane event
+// queue. It is not safe for concurrent use; all model code runs on the
+// simulator's goroutine (coroutine processes hand control back and forth,
+// never run in parallel).
+//
+// The queue has two lanes:
+//
+//   - a hand-rolled 4-ary min-heap of inline event records, keyed on
+//     (time, insertion order), for events in the future, and
+//   - a FIFO ring holding events scheduled for the current instant — the
+//     zero-delay lane. After(0) and At(now) are the common case in the
+//     firmware and fabric models (handler chaining, credit grants, posted
+//     writes), and appending to a ring is much cheaper than a heap sift.
+//
+// The two lanes together dispatch in exactly the (time, insertion order)
+// sequence a single heap would: ring entries all carry the current time, so
+// the ring drains before the clock may advance, and a ring head only runs
+// once no heap entry at the same time with a smaller sequence remains.
 type Sim struct {
 	now     Time
-	events  eventHeap
+	heap    []event // 4-ary min-heap: future events
+	ring    []event // power-of-two circular buffer: events at time now
+	ringHd  int
+	ringLen int
 	seq     uint64
 	stopped bool
 	rng     *rand.Rand
@@ -69,6 +76,97 @@ func (s *Sim) Now() Time { return s.now }
 // use this generator and no other so runs stay reproducible.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// ringPush appends an event at the tail of the zero-delay lane.
+func (s *Sim) ringPush(ev event) {
+	if s.ringLen == len(s.ring) {
+		s.ringGrow()
+	}
+	s.ring[(s.ringHd+s.ringLen)&(len(s.ring)-1)] = ev
+	s.ringLen++
+}
+
+// ringGrow doubles the ring, unwrapping it to the front of the new buffer.
+func (s *Sim) ringGrow() {
+	n := len(s.ring) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]event, n)
+	for i := 0; i < s.ringLen; i++ {
+		buf[i] = s.ring[(s.ringHd+i)&(len(s.ring)-1)]
+	}
+	s.ring = buf
+	s.ringHd = 0
+}
+
+// ringPop removes and returns the head of the zero-delay lane. The slot is
+// cleared so the closure is released; the storage stays pooled in the ring.
+func (s *Sim) ringPop() event {
+	ev := s.ring[s.ringHd]
+	s.ring[s.ringHd] = event{}
+	s.ringHd = (s.ringHd + 1) & (len(s.ring) - 1)
+	s.ringLen--
+	return ev
+}
+
+// heapPush inserts ev into the 4-ary min-heap.
+func (s *Sim) heapPush(ev event) {
+	h := append(s.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	s.heap = h
+}
+
+// heapPop removes and returns the minimum event. The vacated tail slot is
+// cleared (releasing its closure) and its storage reused by later pushes.
+func (s *Sim) heapPop() event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	s.heap = h
+	if n == 0 {
+		return top
+	}
+	// Sift last down from the root. With 4 children per node the tree is
+	// half as deep as a binary heap, and the whole hot prefix stays in a
+	// couple of cache lines.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if h[j].less(h[min]) {
+				min = j
+			}
+		}
+		if !h[min].less(last) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = last
+	return top
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug.
 func (s *Sim) At(t Time, fn func()) {
@@ -76,16 +174,23 @@ func (s *Sim) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	ev := event{at: t, seq: s.seq, fn: fn}
+	if t == s.now {
+		s.ringPush(ev)
+		return
+	}
+	s.heapPush(ev)
 }
 
 // After schedules fn to run d from now. A non-positive d runs fn on the next
 // dispatch at the current time (still after all work already queued for now).
 func (s *Sim) After(d Time, fn func()) {
-	if d < 0 {
-		d = 0
+	s.seq++
+	if d <= 0 {
+		s.ringPush(event{at: s.now, seq: s.seq, fn: fn})
+		return
 	}
-	s.At(s.now+d, fn)
+	s.heapPush(event{at: s.now + d, seq: s.seq, fn: fn})
 }
 
 // Stop makes Run return after the currently executing event.
@@ -93,14 +198,26 @@ func (s *Sim) Stop() { s.stopped = true }
 
 // step executes the next event. It reports false when no events remain.
 func (s *Sim) step() bool {
-	if len(s.events) == 0 {
-		return false
+	var ev event
+	if s.ringLen > 0 {
+		// Ring entries are all at time now. A heap entry at the same time
+		// with a smaller sequence was scheduled before the clock reached
+		// now and must run first.
+		if len(s.heap) > 0 && s.heap[0].at == s.now && s.heap[0].seq < s.ring[s.ringHd].seq {
+			ev = s.heapPop()
+		} else {
+			ev = s.ringPop()
+		}
+	} else {
+		if len(s.heap) == 0 {
+			return false
+		}
+		ev = s.heapPop()
+		if ev.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = ev.at
 	}
-	ev := heap.Pop(&s.events).(*event)
-	if ev.at < s.now {
-		panic("sim: time went backwards")
-	}
-	s.now = ev.at
 	s.Fired++
 	if s.MaxEvents != 0 && s.Fired > s.MaxEvents {
 		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", s.MaxEvents, s.now))
@@ -109,8 +226,8 @@ func (s *Sim) step() bool {
 	return true
 }
 
-// Run executes events until the heap is empty or Stop is called.
-// If coroutine processes are still alive when the heap drains, they are
+// Run executes events until the queue is empty or Stop is called.
+// If coroutine processes are still alive when the queue drains, they are
 // deadlocked (waiting on a signal nobody will raise); Run panics with a
 // diagnostic rather than silently returning.
 func (s *Sim) Run() {
@@ -122,12 +239,27 @@ func (s *Sim) Run() {
 	}
 }
 
+// nextAt reports the timestamp of the next event to dispatch, if any.
+func (s *Sim) nextAt() (Time, bool) {
+	if s.ringLen > 0 {
+		return s.now, true
+	}
+	if len(s.heap) > 0 {
+		return s.heap[0].at, true
+	}
+	return 0, false
+}
+
 // RunUntil executes events with timestamps ≤ t, then sets the clock to t.
 // Processes blocked past the horizon are left blocked; this is not a
 // deadlock.
 func (s *Sim) RunUntil(t Time) {
 	s.stopped = false
-	for !s.stopped && len(s.events) > 0 && s.events[0].at <= t {
+	for !s.stopped {
+		at, ok := s.nextAt()
+		if !ok || at > t {
+			break
+		}
 		s.step()
 	}
 	if !s.stopped && s.now < t {
@@ -135,5 +267,5 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
-// Pending reports how many events are queued.
-func (s *Sim) Pending() int { return len(s.events) }
+// Pending reports how many events are queued across both lanes.
+func (s *Sim) Pending() int { return len(s.heap) + s.ringLen }

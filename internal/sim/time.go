@@ -71,6 +71,12 @@ func BytesAt(n int64, bytesPerSecond int64) Time {
 	if n <= 0 || bytesPerSecond <= 0 {
 		return 0
 	}
+	if n <= 9_000_000 {
+		// n * Second fits in int64: one ceiling division, identical to the
+		// overflow-safe split below. Covers every packet- and chunk-sized
+		// call on the hot path.
+		return Time((n*int64(Second) + bytesPerSecond - 1) / bytesPerSecond)
+	}
 	// n bytes / (B/s) = n/bps seconds = n * 1e12 / bps picoseconds.
 	// Compute in a way that avoids overflow for n up to tens of GB:
 	// split into whole seconds and remainder.

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Pre-commit gate: vet, build, race-enabled tests, then the substrate
+# benchmarks checked against the committed baselines in BENCH_substrate.json.
+#
+# Wall-clock comparisons use a generous tolerance because ns/op moves with
+# the host machine; allocations per op are deterministic and enforced
+# exactly. Usage: scripts/check.sh [-fast]  (-fast skips the benchmarks).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "$1" = "-fast" ]; then
+    echo "check.sh: fast mode, skipping benchmarks"
+    exit 0
+fi
+
+echo "== substrate benchmarks vs BENCH_substrate.json =="
+out=$(go test -run xxx \
+    -bench 'SimulatorEventThroughput$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut' \
+    -benchtime 200ms -benchmem . | grep '^Benchmark' || true)
+echo "$out"
+
+fail=0
+# allocs/op is column 7 of `go test -benchmem` output; it must match the
+# baseline exactly. ns/op (column 3) may drift up to 3x before we flag it —
+# the point is catching a reintroduced per-event allocation or a gross
+# slowdown, not measuring the host.
+while read -r name _ ns _ _ _ allocs _; do
+    base=$(sed -n "s/.*\"$name\": { \"ns_per_op\": \([0-9.]*\), \"allocs_per_op\": \([0-9]*\) }.*/\1 \2/p" BENCH_substrate.json | head -1)
+    [ -z "$base" ] && continue
+    base_ns=${base% *}
+    base_allocs=${base#* }
+    if [ "$allocs" != "$base_allocs" ]; then
+        echo "FAIL: $name allocs/op = $allocs, baseline $base_allocs"
+        fail=1
+    fi
+    over=$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { print (ns > 3 * base) ? 1 : 0 }')
+    if [ "$over" = "1" ]; then
+        echo "WARN: $name ns/op = $ns, baseline $base_ns (>3x; machine-dependent, not fatal)"
+    fi
+done <<EOF
+$out
+EOF
+
+if [ "$fail" != "0" ]; then
+    echo "check.sh: substrate benchmark regression"
+    exit 1
+fi
+echo "check.sh: all green"
