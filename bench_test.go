@@ -265,6 +265,40 @@ func BenchmarkSimulatedPut(b *testing.B) {
 	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
 }
 
+// BenchmarkPingPongTelemetryOff is the telemetry-overhead baseline: the
+// BenchmarkSimulatedPut workload with telemetry left disabled. Its
+// allocs/op must not move when the telemetry subsystem evolves — the
+// disabled path is one nil test per site.
+func BenchmarkPingPongTelemetryOff(b *testing.B) {
+	b.ReportAllocs()
+	cfg := netpipe.DefaultConfig()
+	cfg.MaxBytes = 1
+	cfg.MinIters = b.N
+	cfg.MaxIters = b.N
+	cfg.Mode = machine.Generic
+	b.ResetTimer()
+	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
+}
+
+// BenchmarkPingPongTelemetryOn is the same workload with full telemetry:
+// message attribution records, per-node interrupt histograms, and the RAS
+// sampler at a 100 µs simulated period. The delta against ...Off is the
+// whole observability tax.
+func BenchmarkPingPongTelemetryOn(b *testing.B) {
+	b.ReportAllocs()
+	cfg := netpipe.DefaultConfig()
+	cfg.MaxBytes = 1
+	cfg.MinIters = b.N
+	cfg.MaxIters = b.N
+	cfg.Mode = machine.Generic
+	cfg.Observe = func(m *machine.Machine) {
+		m.EnableTelemetry()
+		m.StartSampler(100 * sim.Microsecond)
+	}
+	b.ResetTimer()
+	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
+}
+
 // BenchmarkAblationInlineOptimization removes the ≤12-byte
 // payload-in-header path (§6) and reports the small-message cost.
 func BenchmarkAblationInlineOptimization(b *testing.B) {

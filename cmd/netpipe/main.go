@@ -21,14 +21,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"portals3/internal/experiments"
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/mpi"
 	"portals3/internal/netpipe"
+	"portals3/internal/sim"
 	"portals3/internal/trace"
 )
+
+// writeTelemetry exports the machine's telemetry: Prometheus text for a
+// .prom suffix, the JSON document otherwise.
+func writeTelemetry(m *machine.Machine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") {
+		return m.Telemetry().WritePrometheus(f, m.S.Now())
+	}
+	return m.Telemetry().WriteJSON(f, m.S.Now())
+}
 
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 4, 5, 6, 7 or all")
@@ -39,6 +55,8 @@ func main() {
 	checks := flag.Bool("checks", false, "print paper-vs-measured checks (with -fig)")
 	traceOut := flag.String("trace", "", "write a chrome://tracing timeline of the run (with -series)")
 	stats := flag.Bool("stats", false, "print machine counters after the run (with -series)")
+	telemetryOut := flag.String("telemetry", "", "write telemetry after the run: JSON, or Prometheus text with a .prom suffix (with -series)")
+	sample := flag.Int("sample", 1000, "RAS sampler period in simulated microseconds, 0 to disable (with -telemetry)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations (A1-A5) and print checks")
 	flag.Parse()
 
@@ -49,7 +67,7 @@ func main() {
 	case *fig != "":
 		runFigures(p, *fig, *checks)
 	case *series != "":
-		runSeries(p, *series, *pattern, *maxBytes, *accel, *traceOut, *stats)
+		runSeries(p, *series, *pattern, *maxBytes, *accel, *traceOut, *stats, *telemetryOut, *sample)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -81,8 +99,10 @@ func runFigures(p model.Params, which string, checks bool) {
 	case "4":
 		f4 = experiments.Figure4(p)
 		show(f4)
+		f4.RenderPercentiles(os.Stdout)
 		if checks {
 			experiments.RenderChecks(os.Stdout, experiments.LatencyChecks(f4))
+			showBreakdown(p)
 		}
 	case "5", "6", "7":
 		var f experiments.Figure
@@ -100,9 +120,11 @@ func runFigures(p model.Params, which string, checks bool) {
 		for _, f := range []experiments.Figure{f4, f5, f6, f7} {
 			show(f)
 		}
+		f4.RenderPercentiles(os.Stdout)
 		if checks {
 			experiments.RenderChecks(os.Stdout, experiments.LatencyChecks(f4))
 			experiments.RenderChecks(os.Stdout, experiments.BandwidthChecks(f5, f6, f7))
+			showBreakdown(p)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", which)
@@ -110,7 +132,16 @@ func runFigures(p model.Params, which string, checks bool) {
 	}
 }
 
-func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool, traceOut string, stats bool) {
+// showBreakdown runs the telemetry-enabled attribution sweep and prints
+// the paper's latency decomposition with its checks.
+func showBreakdown(p model.Params) {
+	fmt.Println()
+	_, bd := experiments.TelemetryBreakdown(p)
+	bd.Render(os.Stdout)
+	experiments.RenderChecks(os.Stdout, experiments.BreakdownChecks(bd))
+}
+
+func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool, traceOut string, stats bool, telemetryOut string, sampleUs int) {
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = maxBytes
 	if accel {
@@ -118,11 +149,17 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool,
 	}
 	var mach *machine.Machine
 	var tracer *trace.Tracer
-	if traceOut != "" || stats {
+	if traceOut != "" || stats || telemetryOut != "" {
 		cfg.Observe = func(m *machine.Machine) {
 			mach = m
 			if traceOut != "" {
 				tracer = m.EnableTracing()
+			}
+			if telemetryOut != "" {
+				m.EnableTelemetry()
+				if sampleUs > 0 {
+					m.StartSampler(sim.Time(sampleUs) * sim.Microsecond)
+				}
 			}
 		}
 	}
@@ -159,6 +196,17 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool,
 	if stats && mach != nil {
 		fmt.Println()
 		fmt.Print(mach.Stats())
+	}
+	if telemetryOut != "" && mach != nil {
+		if err := writeTelemetry(mach, telemetryOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if bd, ok := mach.Telemetry().Snapshot(mach.S.Now()).Breakdown(); ok {
+			fmt.Println()
+			bd.Render(os.Stdout)
+		}
+		fmt.Printf("telemetry written to %s (render with p3stat)\n", telemetryOut)
 	}
 	if tracer != nil {
 		f, err := os.Create(traceOut)

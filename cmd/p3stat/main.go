@@ -1,0 +1,142 @@
+// Command p3stat renders saved observability artifacts: telemetry JSON
+// exports (cmd/netpipe -telemetry) and chrome-trace timelines (cmd/netpipe
+// -trace), as aligned text tables — the offline half of the machine's RAS
+// view.
+//
+//	p3stat run.json                # metrics, latency breakdown, series
+//	p3stat -trace timeline.json    # per-track / per-handler summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"portals3/internal/telemetry"
+	"portals3/internal/trace"
+)
+
+func main() {
+	traceIn := flag.String("trace", "", "summarize a chrome-trace timeline instead of telemetry JSON")
+	flag.Parse()
+
+	switch {
+	case *traceIn != "":
+		if err := summarizeTrace(*traceIn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			if err := renderTelemetry(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarizeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.ReadChrome(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	telemetry.Summarize(recs).Render(os.Stdout)
+	return nil
+}
+
+func renderTelemetry(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	e, err := telemetry.ReadJSON(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	render(e, path)
+	return nil
+}
+
+// ps-valued metric names render in microseconds; everything else raw.
+func isPs(name string) bool { return strings.HasSuffix(name, "_ps") }
+
+func render(e *telemetry.Export, path string) {
+	fmt.Printf("# %s  (sim time %.3f us)\n", path, float64(e.SimTimePs)/1e6)
+
+	if bd, ok := e.Breakdown(); ok {
+		fmt.Println()
+		bd.Render(os.Stdout)
+	}
+
+	var hists, scalars []telemetry.ExportMetric
+	for _, m := range e.Metrics {
+		if m.Kind == "histogram" {
+			hists = append(hists, m)
+		} else {
+			scalars = append(scalars, m)
+		}
+	}
+
+	if len(hists) > 0 {
+		fmt.Printf("\nhistograms:\n")
+		fmt.Printf("  %-44s %8s %12s %12s %12s %12s %12s\n",
+			"name", "count", "mean", "p50", "p99", "p999", "max")
+		for _, m := range hists {
+			name := m.Name
+			if m.Labels != "" {
+				name += "{" + m.Labels + "}"
+			}
+			mean := 0.0
+			if m.Count > 0 {
+				mean = float64(m.Sum) / float64(m.Count)
+			}
+			if isPs(m.Name) {
+				fmt.Printf("  %-44s %8d %10.3fus %10.3fus %10.3fus %10.3fus %10.3fus\n",
+					name, m.Count, mean/1e6, float64(m.P50)/1e6,
+					float64(m.P99)/1e6, float64(m.P999)/1e6, float64(m.Max)/1e6)
+			} else {
+				fmt.Printf("  %-44s %8d %12.1f %12d %12d %12d %12d\n",
+					name, m.Count, mean, m.P50, m.P99, m.P999, m.Max)
+			}
+		}
+	}
+
+	if len(scalars) > 0 {
+		fmt.Printf("\ncounters and gauges:\n")
+		for _, m := range scalars {
+			name := m.Name
+			if m.Labels != "" {
+				name += "{" + m.Labels + "}"
+			}
+			fmt.Printf("  %-60s %14g\n", name, m.Value)
+		}
+	}
+
+	if len(e.Series) > 0 {
+		fmt.Printf("\nsampler series:\n")
+		fmt.Printf("  %-44s %8s %14s %14s\n", "name", "samples", "first", "last")
+		for _, s := range e.Series {
+			name := s.Name
+			if s.Labels != "" {
+				name += "{" + s.Labels + "}"
+			}
+			var first, last float64
+			if len(s.Values) > 0 {
+				first, last = s.Values[0], s.Values[len(s.Values)-1]
+			}
+			fmt.Printf("  %-44s %8d %14g %14g\n", name, len(s.Values), first, last)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"portals3/internal/model"
+	"portals3/internal/netpipe"
+	"portals3/internal/sim"
+)
+
+// TestTelemetryBreakdown is the experiments-level acceptance test: a
+// telemetry-enabled NetPIPE sweep yields a latency decomposition whose
+// structural checks all pass, with sampler series riding along.
+func TestTelemetryBreakdown(t *testing.T) {
+	exp, bd := TelemetryBreakdown(model.Defaults())
+	if bd == nil {
+		t.Fatal("no breakdown from telemetry-enabled sweep")
+	}
+	for _, c := range BreakdownChecks(bd) {
+		if !c.Pass {
+			t.Errorf("%s: paper %s, measured %s", c.Name, c.Paper, c.Measured)
+		}
+	}
+	if exp.Metric("portals_msg_e2e_ps", "") == nil {
+		t.Error("export missing e2e histogram")
+	}
+	var series bool
+	for _, s := range exp.Series {
+		if s.Name == "fabric_delivered_total" && len(s.Values) > 0 {
+			series = true
+		}
+	}
+	if !series {
+		t.Error("export missing sampler series")
+	}
+	var out bytes.Buffer
+	bd.Render(&out)
+	for _, want := range []string{"host", "txfw", "wire", "rxfw", "deliver", "e2e", "drift"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("breakdown render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBreakdownChecksNil: a missing breakdown fails loudly, not silently.
+func TestBreakdownChecksNil(t *testing.T) {
+	checks := BreakdownChecks(nil)
+	if len(checks) != 1 || checks[0].Pass {
+		t.Errorf("nil breakdown checks = %+v", checks)
+	}
+}
+
+// TestRenderPercentiles checks the figure-level percentile table on a
+// synthetic figure (cheap) and that non-ping-pong figures stay silent.
+func TestRenderPercentiles(t *testing.T) {
+	f := Figure{
+		Title: "synthetic",
+		Pat:   netpipe.PingPong,
+		Series: []netpipe.Result{{
+			Series: "put",
+			Points: []netpipe.Point{
+				{Bytes: 1, Latency: 5 * sim.Microsecond, P50: 5 * sim.Microsecond, P99: 6 * sim.Microsecond},
+				{Bytes: 2, Latency: 5 * sim.Microsecond, P50: 5 * sim.Microsecond, P99: 7 * sim.Microsecond},
+			},
+		}},
+	}
+	var out bytes.Buffer
+	f.RenderPercentiles(&out)
+	for _, want := range []string{"put-p50", "put-p99", "6.00", "7.00"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("percentile table missing %q:\n%s", want, out.String())
+		}
+	}
+	f.Pat = netpipe.Stream
+	out.Reset()
+	f.RenderPercentiles(&out)
+	if out.Len() != 0 {
+		t.Errorf("stream figure rendered percentiles:\n%s", out.String())
+	}
+}

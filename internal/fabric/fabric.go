@@ -16,6 +16,7 @@ import (
 
 	"portals3/internal/model"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/trace"
 	"portals3/internal/wire"
@@ -55,6 +56,12 @@ type Message struct {
 	// granted receiver credits and enters the wire — the moment the TX
 	// state machine considers the packet "sent".
 	OnInjected func()
+
+	// Rec is the message's latency-attribution record, carried from the
+	// sending NIC to app delivery when telemetry is enabled; nil otherwise.
+	// Ownership follows the message: whoever retires the message must
+	// finish or reclaim the record.
+	Rec *telemetry.MsgRec
 
 	// inlBuf backs Inline so carrying an inline payload never allocates.
 	inlBuf [wire.InlineMax]byte
@@ -104,6 +111,10 @@ type Fabric struct {
 	// Trace, when non-nil, records wire-level message events.
 	Trace *trace.Tracer
 
+	// Tel, when non-nil, receives wire-boundary latency stamps and reclaims
+	// attribution records of messages that die before delivery.
+	Tel *telemetry.Telemetry
+
 	links  map[linkKey]*sim.Server
 	eps    map[topo.NodeID]Endpoint
 	routes map[[2]topo.NodeID][]topo.Dir // routing is fixed-path, so cache per pair
@@ -118,8 +129,8 @@ type Fabric struct {
 	chunkFree []*Chunk
 	// msgFree recycles message carriers; see RecycleMsg for the ownership
 	// rule.
-	msgFree []*Message
-	sendFree  []*sendOp
+	msgFree  []*Message
+	sendFree []*sendOp
 
 	// corruptNext counts messages whose payload should be corrupted
 	// end-to-end (test fault injection).
@@ -131,9 +142,9 @@ type Fabric struct {
 // New returns a fabric over the given topology.
 func New(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
 	return &Fabric{
-		S:     s,
-		Topo:  t,
-		P:     p,
+		S:      s,
+		Topo:   t,
+		P:      p,
 		links:  make(map[linkKey]*sim.Server),
 		eps:    make(map[topo.NodeID]Endpoint),
 		routes: make(map[[2]topo.NodeID][]topo.Dir),
@@ -257,6 +268,13 @@ func (f *Fabric) getMsg() *Message {
 // retransmission always builds a fresh message). Messages that die on other
 // paths (discards, dead nodes) are simply left to the garbage collector.
 func (f *Fabric) RecycleMsg(m *Message) {
+	if m.Rec != nil {
+		// The message died (or was delivered through a path that does not
+		// attribute, e.g. an accelerated receiver) with its record still
+		// attached: reclaim it so the pool survives and the incomplete
+		// count reflects it.
+		f.Tel.DropMsgRec(m.Rec)
+	}
 	*m = Message{}
 	f.msgFree = append(f.msgFree, m)
 }
@@ -366,6 +384,7 @@ func (f *Fabric) getSendOp() *sendOp {
 
 func (s *sendOp) headerTaken() {
 	f, m := s.f, s.m
+	m.Rec.Stamp(telemetry.StampWire, f.S.Now())
 	if m.OnInjected != nil {
 		m.OnInjected()
 	}
@@ -382,6 +401,7 @@ func (s *sendOp) headerArrived() {
 	f, ep, m := s.f, s.ep, s.m
 	s.ep, s.m = nil, nil
 	f.sendFree = append(f.sendFree, s)
+	m.Rec.Stamp(telemetry.StampRxHdr, f.S.Now())
 	if f.Trace.Enabled() {
 		f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx hdr "+m.Hdr.Type.String(), f.S.Now(),
 			map[string]interface{}{"msg": m.ID, "src": m.Src})

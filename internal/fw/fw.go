@@ -23,6 +23,7 @@ import (
 	"portals3/internal/model"
 	"portals3/internal/seastar"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/trace"
 	"portals3/internal/wire"
@@ -157,6 +158,12 @@ type TxReq struct {
 	// Done runs host-side when the TX_DONE event is delivered; ok reports
 	// transmit success.
 	Done func(ok bool)
+
+	// Rec is the latency-attribution record set by the submitting driver
+	// when telemetry is enabled. It transfers to the fabric message at
+	// header injection (txHeaderReady) and travels with the message from
+	// there; a retransmission therefore carries no record.
+	Rec *telemetry.MsgRec
 
 	pending  *Pending
 	job      *txJob // per-message stage carrier, recycled at header injection
@@ -492,6 +499,9 @@ func (j *evPost) runCredits() {
 
 func (j *evPost) runRxDone() {
 	n, p, ev := j.recycle()
+	// The rx-done handler has run: the completion event push to the host
+	// begins now — the event-post attribution boundary for chunked messages.
+	ev.Pending.msg.Rec.Stamp(telemetry.StampEvPost, n.S.Now())
 	if p.Accel {
 		p.Handle(ev)
 		return

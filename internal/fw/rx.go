@@ -5,6 +5,7 @@ import (
 
 	"portals3/internal/fabric"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/wire"
 )
@@ -21,9 +22,9 @@ func (n *NIC) headerCRC(m *fabric.Message) uint32 {
 // hdrJob defers one arrived header to the firmware CPU without allocating a
 // fresh dispatch closure per message.
 type hdrJob struct {
-	n   *NIC
-	m   *fabric.Message
-	fn  func()
+	n  *NIC
+	m  *fabric.Message
+	fn func()
 }
 
 func (n *NIC) getHdrJob() *hdrJob {
@@ -167,6 +168,9 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 			return
 		}
 		n.Stats.EventsPosted++
+		// Header and completion push to the host begins: the event-post
+		// attribution boundary for messages that fit the header packet.
+		m.Rec.Stamp(telemetry.StampEvPost, n.S.Now())
 		j := n.getEvPost()
 		j.p = proc
 		j.ev = ev
@@ -493,6 +497,19 @@ func (p *Pending) PayloadLen() int { return p.msg.PayloadLen }
 
 // Done returns the completion callback stored by SubmitRx.
 func (p *Pending) Done() func(ok bool) { return p.done }
+
+// TakeRec detaches and returns the latency-attribution record of the
+// pending's message, or nil. The caller (the NAL driver, at app delivery)
+// becomes the owner and must finish or drop it; detaching here keeps
+// RecycleMsg from reclaiming a record that was already consumed.
+func (p *Pending) TakeRec() *telemetry.MsgRec {
+	if p.msg == nil || p.msg.Rec == nil {
+		return nil
+	}
+	r := p.msg.Rec
+	p.msg.Rec = nil
+	return r
+}
 
 // cmdJob carries one mailbox command through its stages — FIFO slot grant,
 // posted write across HyperTransport, firmware handler — with the stage

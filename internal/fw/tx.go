@@ -4,6 +4,7 @@ import (
 	"errors"
 	"hash/crc32"
 
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/wire"
 )
@@ -76,6 +77,7 @@ func (n *NIC) getTxJob() *txJob {
 
 func (j *txJob) submit() {
 	n, req := j.n, j.req
+	req.Rec.Stamp(telemetry.StampFwTx, n.S.Now())
 	src := n.allocSource(topo.NodeID(req.Hdr.DstNid))
 	if src == nil {
 		// TX-side source exhaustion cannot be NACKed away — the
@@ -172,6 +174,11 @@ func (n *NIC) txHeaderReady(req *TxReq, inline []byte) {
 	if inline != nil {
 		m.SetInline(inline)
 	}
+	// The attribution record follows the message from here on; moving it
+	// (rather than sharing) keeps ownership single even when go-back-n
+	// builds a fresh message for a retransmission of the same request.
+	m.Rec = req.Rec
+	req.Rec = nil
 	req.msg = m
 	m.Hdr.Encode(n.hdrScratch[:])
 	req.crc = crc32.ChecksumIEEE(n.hdrScratch[:])

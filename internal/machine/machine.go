@@ -18,6 +18,7 @@ import (
 	"portals3/internal/oskernel"
 	"portals3/internal/seastar"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/trace"
 )
@@ -59,6 +60,8 @@ type Machine struct {
 	nodes    map[topo.NodeID]*Node
 	gbn      bool
 	tracer   *trace.Tracer
+	tel      *telemetry.Telemetry
+	sampler  *Sampler
 	failures []NodeFailure
 }
 
@@ -118,6 +121,9 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 		panic(err)
 	}
 	n := &Node{ID: id, Kernel: kern, Chip: chip, NIC: nic, Generic: drv}
+	if m.tel != nil {
+		m.wireTelemetry(n)
+	}
 	m.installFailureHandler(n)
 	m.nodes[id] = n
 	return n
@@ -136,6 +142,32 @@ func (m *Machine) EnableTracing() *trace.Tracer {
 		}
 	}
 	return m.tracer
+}
+
+// EnableTelemetry attaches a telemetry handle to the machine — existing and
+// subsequently built nodes — and returns it: per-message latency
+// attribution through the generic driver, per-node interrupt dispatch
+// histograms, and the registry the RAS sampler and exporters use. Like
+// tracing, enable it before spawning processes; a machine without it pays
+// one pointer test per site and allocates nothing.
+func (m *Machine) EnableTelemetry() *telemetry.Telemetry {
+	if m.tel == nil {
+		m.tel = telemetry.New()
+		m.Fab.Tel = m.tel
+		for _, n := range m.nodes {
+			m.wireTelemetry(n)
+		}
+	}
+	return m.tel
+}
+
+// Telemetry returns the machine's telemetry handle (nil unless enabled).
+func (m *Machine) Telemetry() *telemetry.Telemetry { return m.tel }
+
+// wireTelemetry points one node's components at the machine handle.
+func (m *Machine) wireTelemetry(n *Node) {
+	n.Generic.Tel = m.tel
+	n.Kernel.IrqHist = m.tel.Reg.Histogram("host_irq_dispatch_ps", telemetry.NodeLabel(int(n.ID)))
 }
 
 // EnableGoBackN switches every node — existing and subsequently built — to

@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"sort"
+
+	"portals3/internal/sim"
+	"portals3/internal/telemetry"
+	"portals3/internal/topo"
+)
+
+// This file is the telemetry half of the RAS loop: where ras.go watches
+// heartbeats for liveness, the Sampler periodically snapshots every node's
+// counters and utilizations into virtual-time series — the counter-
+// gathering path the real Red Storm RAS network provided, feeding the
+// machine's telemetry registry for export.
+
+// nodeSeries caches one node's series pointers so a tick does no map
+// lookups beyond discovering newly built nodes.
+type nodeSeries struct {
+	heartbeat  *telemetry.Series
+	interrupts *telemetry.Series
+	coalesced  *telemetry.Series
+	headersRx  *telemetry.Series
+	msgsTx     *telemetry.Series
+	events     *telemetry.Series
+	ppcBusy    *telemetry.Series
+	htRdBusy   *telemetry.Series
+	htWrBusy   *telemetry.Series
+	sramUsed   *telemetry.Series
+	rxWaits    *telemetry.Series
+}
+
+// Sampler is a running virtual-time stats sampler.
+type Sampler struct {
+	m      *Machine
+	period sim.Time
+	halted bool
+	nodes  map[topo.NodeID]*nodeSeries
+
+	fabMessages  *telemetry.Series
+	fabChunks    *telemetry.Series
+	fabDelivered *telemetry.Series
+	fabRetries   *telemetry.Series
+	simFired     *telemetry.Series
+	simPending   *telemetry.Series
+
+	// Samples counts ticks taken, for tests and reports.
+	Samples int
+}
+
+// StartSampler begins periodic sampling of every node's firmware, kernel
+// and chip counters (plus fabric and simulator stats) into telemetry time
+// series, every period of simulated time. Telemetry is enabled if it was
+// not already.
+//
+// Unlike the heartbeat monitor (StartRAS), the sampler self-terminates: a
+// tick only reschedules while other work is pending on the event heap, so
+// Machine.Run still returns — with a final sample taken at quiesce time.
+func (m *Machine) StartSampler(period sim.Time) *Sampler {
+	if m.sampler != nil {
+		return m.sampler
+	}
+	m.EnableTelemetry()
+	sp := &Sampler{m: m, period: period, nodes: make(map[topo.NodeID]*nodeSeries)}
+	tel := m.tel
+	sp.fabMessages = tel.SeriesFor("fabric_messages_total")
+	sp.fabChunks = tel.SeriesFor("fabric_chunks_total")
+	sp.fabDelivered = tel.SeriesFor("fabric_delivered_total")
+	sp.fabRetries = tel.SeriesFor("fabric_link_retries_total")
+	sp.simFired = tel.SeriesFor("sim_events_fired_total")
+	sp.simPending = tel.SeriesFor("sim_events_pending")
+	m.sampler = sp
+	var tick func()
+	tick = func() {
+		if sp.halted {
+			return
+		}
+		sp.sample()
+		if m.S.Pending() > 0 {
+			m.S.After(period, tick)
+		}
+	}
+	m.S.After(period, tick)
+	return sp
+}
+
+// Stop halts the sampler after the current period.
+func (sp *Sampler) Stop() { sp.halted = true }
+
+// sample appends one point to every series.
+func (sp *Sampler) sample() {
+	m := sp.m
+	now := m.S.Now()
+	sp.Samples++
+	ids := make([]topo.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		ns := sp.nodes[id]
+		if ns == nil {
+			ns = sp.bindNode(id)
+		}
+		ns.heartbeat.Append(now, float64(n.NIC.Heartbeat))
+		ns.interrupts.Append(now, float64(n.Kernel.Interrupts))
+		ns.coalesced.Append(now, float64(n.Kernel.Coalesced))
+		ns.headersRx.Append(now, float64(n.NIC.Stats.HeadersRx))
+		ns.msgsTx.Append(now, float64(n.NIC.Stats.MsgsTx))
+		ns.events.Append(now, float64(n.NIC.Stats.EventsPosted))
+		ns.ppcBusy.Append(now, n.Chip.CPU.Utilization())
+		ns.htRdBusy.Append(now, n.Chip.HTRead.Utilization())
+		ns.htWrBusy.Append(now, n.Chip.HTWrite.Utilization())
+		ns.sramUsed.Append(now, float64(n.Chip.SRAM.Used()))
+		ns.rxWaits.Append(now, float64(n.Chip.RxFIFO.Waits))
+	}
+	sp.fabMessages.Append(now, float64(m.Fab.Stats.Messages))
+	sp.fabChunks.Append(now, float64(m.Fab.Stats.Chunks))
+	sp.fabDelivered.Append(now, float64(m.Fab.Stats.Delivered))
+	sp.fabRetries.Append(now, float64(m.Fab.Stats.LinkRetries))
+	sp.simFired.Append(now, float64(m.S.Fired))
+	sp.simPending.Append(now, float64(m.S.Pending()))
+}
+
+// bindNode creates the series set for a newly seen node.
+func (sp *Sampler) bindNode(id topo.NodeID) *nodeSeries {
+	tel := sp.m.tel
+	nl := telemetry.NodeLabel(int(id))
+	ns := &nodeSeries{
+		heartbeat:  tel.SeriesFor("node_fw_heartbeat_total", nl),
+		interrupts: tel.SeriesFor("node_host_interrupts_total", nl),
+		coalesced:  tel.SeriesFor("node_host_irq_coalesced_total", nl),
+		headersRx:  tel.SeriesFor("node_fw_headers_rx_total", nl),
+		msgsTx:     tel.SeriesFor("node_fw_msgs_tx_total", nl),
+		events:     tel.SeriesFor("node_fw_events_posted_total", nl),
+		ppcBusy:    tel.SeriesFor("node_ppc_utilization", nl),
+		htRdBusy:   tel.SeriesFor("node_ht_read_utilization", nl),
+		htWrBusy:   tel.SeriesFor("node_ht_write_utilization", nl),
+		sramUsed:   tel.SeriesFor("node_sram_used_bytes", nl),
+		rxWaits:    tel.SeriesFor("node_rx_fifo_waits_total", nl),
+	}
+	sp.nodes[id] = ns
+	return ns
+}

@@ -6,6 +6,7 @@ import (
 	"portals3/internal/model"
 	"portals3/internal/oskernel"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/wire"
 )
@@ -26,6 +27,10 @@ type GenericDriver struct {
 	K    *oskernel.Kernel
 	NIC  *fw.NIC
 	Topo *topo.Topology
+
+	// Tel, when non-nil, attaches a latency-attribution record to every
+	// send and finishes it at app delivery (machine.EnableTelemetry).
+	Tel *telemetry.Telemetry
 
 	libs map[uint32]*core.Lib
 
@@ -99,6 +104,13 @@ func (d *GenericDriver) send(pid uint32, req *core.SendReq) {
 	tx.Hdr = req.Hdr
 	tx.Off = req.Off
 	tx.Len = req.Len
+	if d.Tel != nil {
+		// The host has trapped, marshaled and built the command: the
+		// message's life (and its host segment) starts here.
+		rec := d.Tel.NewMsgRec(req.Len)
+		rec.Stamp(telemetry.StampSubmit, d.S.Now())
+		tx.Rec = rec
+	}
 	if req.Region != nil {
 		tx.Buf = req.Region
 	}
@@ -285,6 +297,7 @@ func (d *GenericDriver) apply(action evAction, ev fw.Event, lib *core.Lib, op *c
 		if done := ev.Pending.Done(); done != nil {
 			done(ev.OK)
 		}
+		d.finishRec(ev.Pending)
 		ev.Pending.Release()
 		return
 	case evActTxDone:
@@ -315,6 +328,7 @@ func (d *GenericDriver) apply(action evAction, ev fw.Event, lib *core.Lib, op *c
 	p := ev.Pending
 	switch action {
 	case evActRelease:
+		d.finishRec(p)
 		p.Release()
 	case evActDrop:
 		if !p.Complete() {
@@ -324,6 +338,7 @@ func (d *GenericDriver) apply(action evAction, ev fw.Event, lib *core.Lib, op *c
 	case evActReply:
 		// Get request: transmit the reply before the GET_START event
 		// becomes visible — one pass through the handler.
+		d.finishRec(p)
 		d.send(p.Hdr.DstPid, op.Reply)
 		p.Release()
 	case evActInline:
@@ -339,6 +354,7 @@ func (d *GenericDriver) apply(action evAction, ev fw.Event, lib *core.Lib, op *c
 		if ack := lib.Delivered(op, ev.OK); ack != nil {
 			d.send(p.Hdr.DstPid, ack)
 		}
+		d.finishRec(p)
 		p.Release()
 	case evActRxCmd:
 		// Payload follows: answer with the receive command.
@@ -350,6 +366,19 @@ func (d *GenericDriver) apply(action evAction, ev fw.Event, lib *core.Lib, op *c
 	}
 	lib.EndDefer()
 	lib.Unlock()
+}
+
+// finishRec completes a message's latency attribution at app delivery: the
+// last boundary is stamped and the record's segments feed the telemetry
+// histograms. One pointer test when telemetry is off.
+func (d *GenericDriver) finishRec(p *fw.Pending) {
+	if d.Tel == nil {
+		return
+	}
+	if rec := p.TakeRec(); rec != nil {
+		rec.Stamp(telemetry.StampDeliver, d.S.Now())
+		d.Tel.FinishMsg(rec)
+	}
 }
 
 // rxCb carries a long message's delivery completion (invoked at RX_DONE)

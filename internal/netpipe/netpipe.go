@@ -17,6 +17,7 @@ import (
 	"portals3/internal/model"
 	"portals3/internal/mpi"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 )
 
@@ -60,11 +61,21 @@ type Point struct {
 	Elapsed sim.Time // whole measured block
 	// Latency is RTT/2 for ping-pong patterns; zero otherwise.
 	Latency sim.Time
+	// P50 and P99 are per-round latency percentiles (RTT/2) for ping-pong
+	// patterns, from a per-iteration histogram; zero otherwise. In a
+	// deterministic simulation the spread comes from real model effects —
+	// warm vs cold descriptor state, interrupt coalescing, chunk pacing —
+	// not noise.
+	P50, P99 sim.Time
 	// MBps is bandwidth in 10^6 bytes per second (the paper's MB/s axis).
 	MBps float64
 }
 
 func (pt Point) String() string {
+	if pt.P99 > 0 {
+		return fmt.Sprintf("%8d B  %7.2f us  %9.2f MB/s  p50 %7.2f us  p99 %7.2f us",
+			pt.Bytes, pt.Latency.Micros(), pt.MBps, pt.P50.Micros(), pt.P99.Micros())
+	}
 	return fmt.Sprintf("%8d B  %7.2f us  %9.2f MB/s", pt.Bytes, pt.Latency.Micros(), pt.MBps)
 }
 
@@ -163,6 +174,15 @@ func (g *startGate) wait(p *sim.Proc) {
 	g.sig.Wait(p)
 }
 
+// fillPercentiles copies a round-latency histogram's p50/p99 into a point.
+func fillPercentiles(pt *Point, h *telemetry.Histogram) {
+	if h.Count() == 0 {
+		return
+	}
+	pt.P50 = sim.Time(h.Quantile(0.5))
+	pt.P99 = sim.Time(h.Quantile(0.99))
+}
+
 // finish converts a measured block into a point.
 func point(size, iters int, elapsed sim.Time, transfersPerIter int, latHalf bool) Point {
 	pt := Point{Bytes: size, Iters: iters, Elapsed: elapsed}
@@ -190,6 +210,7 @@ func RunMPI(p model.Params, impl mpi.Impl, pat Pattern, cfg Config) Result {
 		buf := r.Alloc(cfg.MaxBytes)
 		rbuf := r.Alloc(cfg.MaxBytes)
 		me, other := r.Rank(), 1-r.Rank()
+		lat := telemetry.NewHistogram()
 		r.Barrier()
 		for _, s := range sizes {
 			k := cfg.iters(s)
@@ -199,12 +220,17 @@ func RunMPI(p model.Params, impl mpi.Impl, pat Pattern, cfg Config) Result {
 					// Warmup round.
 					r.Send(other, 1, buf, 0, s)
 					r.Recv(other, 2, rbuf, 0, s)
+					lat.Reset()
 					t0 := r.Proc().Now()
 					for i := 0; i < k; i++ {
+						t1 := r.Proc().Now()
 						r.Send(other, 1, buf, 0, s)
 						r.Recv(other, 2, rbuf, 0, s)
+						lat.Observe(int64((r.Proc().Now() - t1) / 2))
 					}
-					points = append(points, point(s, k, r.Proc().Now()-t0, 2, true))
+					pt := point(s, k, r.Proc().Now()-t0, 2, true)
+					fillPercentiles(&pt, lat)
+					points = append(points, pt)
 				} else {
 					for i := 0; i < k+1; i++ {
 						r.Recv(other, 1, rbuf, 0, s)

@@ -2,11 +2,13 @@ package netpipe
 
 import (
 	"sort"
+	"strings"
 	"testing"
 
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/mpi"
+	"portals3/internal/sim"
 )
 
 // smallCfg keeps unit tests fast: sweeps stop at 64 KB.
@@ -185,5 +187,79 @@ func TestPatternAndOpStrings(t *testing.T) {
 	}
 	if OpPut.String() != "put" || OpGet.String() != "get" {
 		t.Error("op names wrong")
+	}
+}
+
+// TestPingPongPercentiles pins the percentile reporting: ping-pong points
+// carry p50/p99 from the per-round histogram, the values are internally
+// consistent, and — the simulator's determinism contract — two identical
+// runs produce identical percentiles.
+func TestPingPongPercentiles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBytes = 4096
+	r1 := RunPortals(model.Defaults(), OpPut, PingPong, cfg)
+	r2 := RunPortals(model.Defaults(), OpPut, PingPong, cfg)
+	if len(r1.Points) != len(r2.Points) {
+		t.Fatalf("run lengths differ: %d vs %d", len(r1.Points), len(r2.Points))
+	}
+	for i, pt := range r1.Points {
+		if pt != r2.Points[i] {
+			t.Errorf("point %d differs between identical runs: %+v vs %+v", i, pt, r2.Points[i])
+		}
+		if pt.P50 <= 0 || pt.P99 <= 0 {
+			t.Errorf("%d B: missing percentiles: p50=%v p99=%v", pt.Bytes, pt.P50, pt.P99)
+		}
+		if pt.P50 > pt.P99 {
+			t.Errorf("%d B: p50 %v > p99 %v", pt.Bytes, pt.P50, pt.P99)
+		}
+		if pt.P99 > 2*pt.Latency {
+			t.Errorf("%d B: p99 %v implausibly above mean %v", pt.Bytes, pt.P99, pt.Latency)
+		}
+	}
+	// At one byte every round costs the same, so the clamped histogram
+	// reports the exact constant: p50 == p99, and both match the mean to
+	// within integer-division rounding of the block time.
+	one := r1.Points[0]
+	if one.Bytes != 1 {
+		t.Fatalf("first point is %d B", one.Bytes)
+	}
+	if one.P50 != one.P99 {
+		t.Errorf("1 B rounds not constant: p50 %v != p99 %v", one.P50, one.P99)
+	}
+	if d := one.P50 - one.Latency; d < -sim.Nanosecond || d > sim.Nanosecond {
+		t.Errorf("1 B p50 %v differs from mean %v by more than rounding", one.P50, one.Latency)
+	}
+	// The string form carries the percentile columns for ping-pong points
+	// and omits them when absent.
+	if s := one.String(); !strings.Contains(s, "p50") || !strings.Contains(s, "p99") {
+		t.Errorf("ping-pong Point.String() missing percentiles: %q", s)
+	}
+	if s := (Point{Bytes: 1}).String(); strings.Contains(s, "p50") {
+		t.Errorf("empty point renders percentiles: %q", s)
+	}
+}
+
+// TestStreamHasNoPercentiles: streaming measures a pipelined block, not
+// rounds, so percentile fields stay zero.
+func TestStreamHasNoPercentiles(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxBytes = 1024
+	r := RunPortals(model.Defaults(), OpPut, Stream, cfg)
+	for _, pt := range r.Points {
+		if pt.P50 != 0 || pt.P99 != 0 {
+			t.Errorf("%d B stream point has percentiles: %+v", pt.Bytes, pt)
+		}
+	}
+}
+
+// TestMPIPercentiles: the MPI module's ping-pong carries percentiles too.
+func TestMPIPercentiles(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxBytes = 1024
+	r := RunMPI(model.Defaults(), mpi.MPICH2, PingPong, cfg)
+	for _, pt := range r.Points {
+		if pt.P50 <= 0 || pt.P99 < pt.P50 {
+			t.Errorf("%d B: bad MPI percentiles %+v", pt.Bytes, pt)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 )
 
 // The transmit payload pattern is shared by every sweep: one append-only
@@ -50,6 +51,10 @@ type npSide struct {
 	sendMD core.MDHandle
 	getMD  core.MDHandle
 	peer   core.ProcessID
+	// lat accumulates per-round latencies (RTT/2, in picoseconds) within
+	// one ping-pong block; reset per size, so a point's percentiles cover
+	// exactly its timed iterations.
+	lat *telemetry.Histogram
 }
 
 // setup creates the module's Portals objects. The receive descriptor uses
@@ -57,7 +62,7 @@ type npSide struct {
 // round overwrites the previous one, like NetPIPE's fixed receive buffer —
 // and allows both put and get so one descriptor serves every test.
 func npSetup(app *machine.App, maxBytes int, peer core.ProcessID, op Op) *npSide {
-	s := &npSide{app: app, peer: peer}
+	s := &npSide{app: app, peer: peer, lat: telemetry.NewHistogram()}
 	eq, err := app.API.EQAlloc(4096)
 	if err != nil {
 		panic(err)
@@ -175,7 +180,9 @@ func RunPortals(p model.Params, op Op, pat Pattern, cfg Config) Result {
 					if pat != Stream {
 						per = 2 // ping-pong rounds and bidir exchanges move two messages
 					}
-					points = append(points, point(sz, k, elapsed, per, pat == PingPong))
+					pt := point(sz, k, elapsed, per, pat == PingPong)
+					fillPercentiles(&pt, side.lat)
+					points = append(points, pt)
 				}
 			}
 		}
@@ -199,10 +206,13 @@ func (s *npSide) putPingPong(rank, sz, k int) sim.Time {
 	if rank == 0 {
 		s.put(sz)
 		s.wait(core.EventPutEnd)
+		s.lat.Reset()
 		t0 := s.app.Proc.Now()
 		for i := 0; i < k; i++ {
+			t1 := s.app.Proc.Now()
 			s.put(sz)
 			s.wait(core.EventPutEnd)
+			s.lat.Observe(int64((s.app.Proc.Now() - t1) / 2))
 		}
 		return s.app.Proc.Now() - t0
 	}
@@ -258,10 +268,13 @@ func (s *npSide) getPingPong(rank, sz, k int) sim.Time {
 	if rank == 0 {
 		s.get(sz)
 		s.wait(core.EventGetStart)
+		s.lat.Reset()
 		t0 := s.app.Proc.Now()
 		for i := 0; i < k; i++ {
+			t1 := s.app.Proc.Now()
 			s.get(sz)
 			s.wait(core.EventGetStart)
+			s.lat.Observe(int64((s.app.Proc.Now() - t1) / 2))
 		}
 		return s.app.Proc.Now() - t0
 	}

@@ -18,6 +18,7 @@ import (
 
 	"portals3/internal/model"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/trace"
 )
@@ -62,6 +63,17 @@ type Kernel struct {
 
 	// Trace, when non-nil, records interrupt and kernel-work spans.
 	Trace *trace.Tracer
+
+	// IrqHist, when non-nil, records interrupt dispatch latency — raise to
+	// handler entry, i.e. CPU queueing plus the ≥2 µs interrupt overhead
+	// (machine.EnableTelemetry installs a per-node histogram).
+	IrqHist *telemetry.Histogram
+
+	// irqRaised and irqFn serve the instrumented dispatch path; a single
+	// carrier suffices because at most one interrupt is in flight
+	// (irqActive gates further raises until InterruptDone).
+	irqRaised sim.Time
+	irqFn     func()
 
 	// NoCoalesce disables interrupt coalescing for ablation studies: every
 	// raise takes its own ≥2 µs interrupt and the driver processes one
@@ -124,15 +136,26 @@ func (k *Kernel) RaiseInterrupt() {
 	}
 	k.irqActive = true
 	k.Interrupts++
-	if k.Trace.Enabled() {
-		k.CPU.Submit(k.P.InterruptOverhead, func() {
-			k.Trace.Span(int(k.Node), trace.TrackHost, "os", "interrupt",
-				k.S.Now()-k.P.InterruptOverhead, k.P.InterruptOverhead, nil)
-			k.irqHandler()
-		})
+	if k.Trace.Enabled() || k.IrqHist != nil {
+		if k.irqFn == nil {
+			k.irqFn = k.irqDispatched
+		}
+		k.irqRaised = k.S.Now()
+		k.CPU.Submit(k.P.InterruptOverhead, k.irqFn)
 		return
 	}
 	k.CPU.Submit(k.P.InterruptOverhead, k.irqHandler)
+}
+
+// irqDispatched is the instrumented interrupt entry: record the span and
+// the dispatch latency, then run the real handler.
+func (k *Kernel) irqDispatched() {
+	if k.Trace.Enabled() {
+		k.Trace.Span(int(k.Node), trace.TrackHost, "os", "interrupt",
+			k.S.Now()-k.P.InterruptOverhead, k.P.InterruptOverhead, nil)
+	}
+	k.IrqHist.Observe(int64(k.S.Now() - k.irqRaised))
+	k.irqHandler()
 }
 
 // InterruptDone re-arms interrupt delivery; the handler calls it after

@@ -1,0 +1,134 @@
+// Trace analyzer: replays trace.Tracer records into per-handler and
+// per-track summaries — which firmware handlers and host activities carry
+// the critical path, per node, over the traced horizon.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"portals3/internal/sim"
+	"portals3/internal/trace"
+)
+
+// SpanStat aggregates every span with the same (node, track, cat, name).
+type SpanStat struct {
+	Node  int
+	Track int
+	Cat   string
+	Name  string
+	Count uint64
+	Total sim.Time // summed span duration
+	Max   sim.Time // longest single span
+}
+
+// TrackStat aggregates busy time per (node, track) — an occupancy view of
+// each modeled execution resource (host CPU, PowerPC, wire, app).
+type TrackStat struct {
+	Node  int
+	Track int
+	Busy  sim.Time // summed span durations on the track
+	Spans uint64
+}
+
+// TraceSummary is the analyzer's result.
+type TraceSummary struct {
+	Horizon  sim.Time // end of the last span
+	Spans    []SpanStat
+	Tracks   []TrackStat
+	Instants uint64 // point events, counted but not attributed time
+}
+
+// trackName names the well-known trace tracks for rendering.
+func trackName(tid int) string { return trace.TrackName(tid) }
+
+// Summarize folds trace records into span and track statistics. Spans are
+// sorted by total time descending (the critical-path view); tracks by
+// (node, track).
+func Summarize(recs []trace.Record) *TraceSummary {
+	s := &TraceSummary{}
+	type key struct {
+		node, track int
+		cat, name   string
+	}
+	type tkey struct{ node, track int }
+	spans := map[key]*SpanStat{}
+	tracks := map[tkey]*TrackStat{}
+	for _, r := range recs {
+		if end := r.TS + r.Dur; end > s.Horizon {
+			s.Horizon = end
+		}
+		if r.Ph != "X" {
+			s.Instants++
+			continue
+		}
+		k := key{r.PID, r.TID, r.Cat, r.Name}
+		st := spans[k]
+		if st == nil {
+			st = &SpanStat{Node: r.PID, Track: r.TID, Cat: r.Cat, Name: r.Name}
+			spans[k] = st
+		}
+		st.Count++
+		st.Total += r.Dur
+		if r.Dur > st.Max {
+			st.Max = r.Dur
+		}
+		tk := tkey{r.PID, r.TID}
+		ts := tracks[tk]
+		if ts == nil {
+			ts = &TrackStat{Node: r.PID, Track: r.TID}
+			tracks[tk] = ts
+		}
+		ts.Spans++
+		ts.Busy += r.Dur
+	}
+	for _, st := range spans {
+		s.Spans = append(s.Spans, *st)
+	}
+	sort.Slice(s.Spans, func(i, j int) bool {
+		a, b := s.Spans[i], s.Spans[j]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	for _, ts := range tracks {
+		s.Tracks = append(s.Tracks, *ts)
+	}
+	sort.Slice(s.Tracks, func(i, j int) bool {
+		a, b := s.Tracks[i], s.Tracks[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Track < b.Track
+	})
+	return s
+}
+
+// Render writes the summary as aligned text tables.
+func (s *TraceSummary) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace horizon %v, %d instants\n\n", s.Horizon, s.Instants)
+	fmt.Fprintf(w, "%-5s %-12s %10s %12s %12s %7s\n",
+		"node", "track", "spans", "busy", "max-span", "occ%")
+	for _, t := range s.Tracks {
+		occ := 0.0
+		if s.Horizon > 0 {
+			occ = 100 * float64(t.Busy) / float64(s.Horizon)
+		}
+		fmt.Fprintf(w, "%-5d %-12s %10d %12v %12s %7.2f\n",
+			t.Node, trackName(t.Track), t.Spans, t.Busy, "", occ)
+	}
+	fmt.Fprintf(w, "\n%-5s %-12s %-24s %8s %12s %12s\n",
+		"node", "track", "handler", "count", "total", "max")
+	for _, sp := range s.Spans {
+		fmt.Fprintf(w, "%-5d %-12s %-24s %8d %12v %12v\n",
+			sp.Node, trackName(sp.Track), sp.Cat+"/"+sp.Name, sp.Count, sp.Total, sp.Max)
+	}
+}

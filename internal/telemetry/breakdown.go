@@ -1,0 +1,89 @@
+// Per-segment latency breakdown: the paper's Table-style decomposition of
+// where a message's time goes, computed from an exported snapshot so both
+// live runs (cmd/netpipe) and saved JSON files (cmd/p3stat) render the
+// same view.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// BreakdownRow is one segment's share of the end-to-end latency.
+type BreakdownRow struct {
+	Stage string
+	Count uint64
+	Mean  float64 // picoseconds
+	P50   int64
+	P99   int64
+	Max   int64
+	Share float64 // percent of summed segment time
+}
+
+// Breakdown is the host/HT/firmware/wire/event decomposition of message
+// latency. SegSum and E2ESum are total picoseconds over all completed
+// messages; by construction (consecutive stamps) they agree exactly, and
+// DriftPct reports any disagreement as a percentage for the exporter
+// round-trip check.
+type Breakdown struct {
+	Rows     []BreakdownRow
+	Messages uint64  // completed messages (e2e histogram count)
+	E2EMean  float64 // picoseconds
+	E2EP50   int64
+	E2EP99   int64
+	SegSum   int64
+	E2ESum   int64
+	DriftPct float64
+}
+
+// Breakdown computes the decomposition from an exported snapshot. ok is
+// false when the snapshot has no completed-message attribution data.
+func (e *Export) Breakdown() (*Breakdown, bool) {
+	e2e := e.Metric("portals_msg_e2e_ps", "")
+	if e2e == nil || e2e.Count == 0 {
+		return nil, false
+	}
+	b := &Breakdown{
+		Messages: e2e.Count,
+		E2EMean:  float64(e2e.Sum) / float64(e2e.Count),
+		E2EP50:   e2e.P50,
+		E2EP99:   e2e.P99,
+		E2ESum:   e2e.Sum,
+	}
+	for s := Seg(0); s < NumSegs; s++ {
+		m := e.Metric("portals_msg_segment_ps", `stage="`+s.String()+`"`)
+		if m == nil {
+			return nil, false
+		}
+		row := BreakdownRow{Stage: s.String(), Count: m.Count, P50: m.P50, P99: m.P99, Max: m.Max}
+		if m.Count > 0 {
+			row.Mean = float64(m.Sum) / float64(m.Count)
+		}
+		b.SegSum += m.Sum
+		b.Rows = append(b.Rows, row)
+	}
+	for i := range b.Rows {
+		if b.SegSum > 0 {
+			b.Rows[i].Share = 100 * b.Rows[i].Mean * float64(b.Rows[i].Count) / float64(b.SegSum)
+		}
+	}
+	if b.E2ESum > 0 {
+		b.DriftPct = 100 * math.Abs(float64(b.SegSum-b.E2ESum)) / float64(b.E2ESum)
+	}
+	return b, true
+}
+
+// Render writes the breakdown as an aligned table, times in microseconds.
+func (b *Breakdown) Render(w io.Writer) {
+	us := func(ps float64) float64 { return ps / 1e6 }
+	fmt.Fprintf(w, "latency attribution over %d messages (us):\n", b.Messages)
+	fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %7s\n", "stage", "mean", "p50", "p99", "max", "share")
+	for _, r := range b.Rows {
+		fmt.Fprintf(w, "  %-8s %10.3f %10.3f %10.3f %10.3f %6.1f%%\n",
+			r.Stage, us(r.Mean), us(float64(r.P50)), us(float64(r.P99)), us(float64(r.Max)), r.Share)
+	}
+	fmt.Fprintf(w, "  %-8s %10.3f %10.3f %10.3f\n", "e2e",
+		us(b.E2EMean), us(float64(b.E2EP50)), us(float64(b.E2EP99)))
+	fmt.Fprintf(w, "  segment sum vs e2e drift: %.4f%%\n", b.DriftPct)
+}

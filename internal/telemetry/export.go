@@ -1,0 +1,218 @@
+// Exporters: Prometheus text exposition format and a JSON document that
+// round-trips through ReadJSON for offline rendering (cmd/p3stat). Both
+// emit metrics in sorted (name, labels) order and series in creation
+// order, so exports of a deterministic run are byte-identical.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"portals3/internal/sim"
+)
+
+// promLabels renders a label set for the exposition format, with an
+// optional extra label (used for histogram `le` bounds).
+func promLabels(labels []Label, extraK, extraV string) string {
+	s := labelString(labels)
+	if extraK != "" {
+		if s != "" {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%q", extraK, extraV)
+	}
+	if s == "" {
+		return ""
+	}
+	return "{" + s + "}"
+}
+
+// WritePrometheus emits every registered metric in the Prometheus text
+// exposition format, plus one gauge per sampler series holding its most
+// recent sample. now is the virtual time of the export, emitted as the
+// portals_sim_time_ps gauge.
+func (t *Telemetry) WritePrometheus(w io.Writer, now sim.Time) error {
+	if t == nil {
+		return nil
+	}
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "# TYPE portals_sim_time_ps gauge\nportals_sim_time_ps %d\n", int64(now))
+	lastType := ""
+	for _, m := range t.Reg.Metrics() {
+		if m.Name != lastType {
+			lastType = m.Name
+			kind := "counter"
+			switch m.Kind {
+			case KindGauge:
+				kind = "gauge"
+			case KindHistogram:
+				kind = "histogram"
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, kind)
+		}
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.C.Value())
+		case KindGauge:
+			fmt.Fprintf(bw, "%s%s %g\n", m.Name, promLabels(m.Labels, "", ""), m.G.Value())
+		case KindHistogram:
+			var cum uint64
+			for _, b := range m.H.Buckets() {
+				cum += b.Count
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name,
+					promLabels(m.Labels, "le", fmt.Sprintf("%d", b.Upper)), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", "+Inf"), m.H.Count())
+			fmt.Fprintf(bw, "%s_sum%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.H.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.H.Count())
+		}
+	}
+	// Sampler series surface as gauges holding their latest sample.
+	for _, s := range t.seriesSorted() {
+		if len(s.Samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", s.Name)
+		fmt.Fprintf(bw, "%s%s %g\n", s.Name, promLabels(s.Labels, "", ""), s.Samples[len(s.Samples)-1].V)
+	}
+	return bw.err
+}
+
+// seriesSorted returns series sorted by (name, labels) for export.
+func (t *Telemetry) seriesSorted() []*Series {
+	out := append([]*Series(nil), t.series...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+// The JSON export schema. Histograms carry their summary statistics and
+// non-empty buckets; series carry every sample. ReadJSON inverts it.
+type (
+	// Export is the top-level JSON document.
+	Export struct {
+		SimTimePs int64          `json:"sim_time_ps"`
+		Metrics   []ExportMetric `json:"metrics"`
+		Series    []ExportSeries `json:"series,omitempty"`
+	}
+
+	// ExportMetric is one counter, gauge or histogram.
+	ExportMetric struct {
+		Name    string        `json:"name"`
+		Labels  string        `json:"labels,omitempty"`
+		Kind    string        `json:"kind"`
+		Value   float64       `json:"value,omitempty"`
+		Count   uint64        `json:"count,omitempty"`
+		Sum     int64         `json:"sum,omitempty"`
+		Min     int64         `json:"min,omitempty"`
+		Max     int64         `json:"max,omitempty"`
+		P50     int64         `json:"p50,omitempty"`
+		P90     int64         `json:"p90,omitempty"`
+		P99     int64         `json:"p99,omitempty"`
+		P999    int64         `json:"p999,omitempty"`
+		Buckets []ExportBound `json:"buckets,omitempty"`
+	}
+
+	// ExportBound is one non-empty histogram bucket.
+	ExportBound struct {
+		Le    int64  `json:"le"`
+		Count uint64 `json:"count"`
+	}
+
+	// ExportSeries is one sampler time series.
+	ExportSeries struct {
+		Name   string    `json:"name"`
+		Labels string    `json:"labels,omitempty"`
+		Times  []int64   `json:"t_ps"`
+		Values []float64 `json:"v"`
+	}
+)
+
+// Snapshot builds the JSON export document.
+func (t *Telemetry) Snapshot(now sim.Time) *Export {
+	if t == nil {
+		return &Export{}
+	}
+	e := &Export{SimTimePs: int64(now)}
+	for _, m := range t.Reg.Metrics() {
+		em := ExportMetric{Name: m.Name, Labels: labelString(m.Labels)}
+		switch m.Kind {
+		case KindCounter:
+			em.Kind = "counter"
+			em.Value = float64(m.C.Value())
+		case KindGauge:
+			em.Kind = "gauge"
+			em.Value = m.G.Value()
+		case KindHistogram:
+			em.Kind = "histogram"
+			em.Count = m.H.Count()
+			em.Sum = m.H.Sum()
+			em.Min = m.H.Min()
+			em.Max = m.H.Max()
+			em.P50 = m.H.Quantile(0.50)
+			em.P90 = m.H.Quantile(0.90)
+			em.P99 = m.H.Quantile(0.99)
+			em.P999 = m.H.Quantile(0.999)
+			for _, b := range m.H.Buckets() {
+				em.Buckets = append(em.Buckets, ExportBound{Le: b.Upper, Count: b.Count})
+			}
+		}
+		e.Metrics = append(e.Metrics, em)
+	}
+	for _, s := range t.seriesSorted() {
+		es := ExportSeries{Name: s.Name, Labels: labelString(s.Labels)}
+		for _, smp := range s.Samples {
+			es.Times = append(es.Times, int64(smp.T))
+			es.Values = append(es.Values, smp.V)
+		}
+		e.Series = append(e.Series, es)
+	}
+	return e
+}
+
+// WriteJSON emits the JSON export document, indented for humans.
+func (t *Telemetry) WriteJSON(w io.Writer, now sim.Time) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot(now))
+}
+
+// ReadJSON parses a document written by WriteJSON.
+func ReadJSON(r io.Reader) (*Export, error) {
+	var e Export
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Metric finds an exported metric by name and exact label string, or nil.
+func (e *Export) Metric(name, labels string) *ExportMetric {
+	for i := range e.Metrics {
+		if e.Metrics[i].Name == name && e.Metrics[i].Labels == labels {
+			return &e.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// errWriter folds write errors so export loops stay readable.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

@@ -1,0 +1,183 @@
+// Log-bucketed histogram: fixed storage, no allocation after construction,
+// integer arithmetic only. Designed for picosecond latencies and byte
+// counts — anything that fits an int64 and spans many orders of magnitude.
+package telemetry
+
+import "math/bits"
+
+// histogram bucket layout: values 0..15 land in exact buckets; larger
+// values are split into eight sub-buckets per power-of-two octave, giving
+// a worst-case relative error of 12.5% on any reported bound. 16 exact +
+// 59 octaves x 8 sub-buckets = 488 buckets covers the full int64 range.
+const (
+	histExact   = 16
+	histSub     = 8
+	histBuckets = histExact + (63-5)*histSub + histSub
+)
+
+// Histogram accumulates int64 observations into logarithmic buckets and
+// answers quantile queries against the recorded distribution. The zero
+// value is ready to use; a nil *Histogram ignores observations and reports
+// zeros, so call sites need no enabled-check of their own.
+//
+// A Histogram is not safe for concurrent use; every machine (and every
+// parallel experiment arm) owns its own registry, matching the simulator's
+// single-goroutine discipline.
+type Histogram struct {
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) // >= 5 here
+	sub := int(v>>(exp-4)) & (histSub - 1)
+	return histExact + (exp-5)*histSub + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i — the value
+// reported for any quantile that lands in the bucket.
+func bucketUpper(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	i -= histExact
+	exp := i/histSub + 5
+	sub := int64(i % histSub)
+	lower := (8 + sub) << (exp - 4)
+	return lower + (1 << (exp - 4)) - 1
+}
+
+// Observe records one value. Negative values are clamped to zero (segment
+// math on a well-formed record never produces them, but a histogram must
+// not corrupt itself if fed garbage).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 with none.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper bound on the q-th quantile (0 < q <= 1) of the
+// recorded values: the bound of the bucket holding the ceil(q*count)-th
+// observation, clamped into [min, max] so degenerate distributions report
+// exact values. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if float64(target) < q*float64(h.count) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			v := bucketUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Reset clears the histogram for reuse.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	*h = Histogram{}
+}
+
+// Bucket is one non-empty histogram bucket for export: Count observations
+// with values <= Upper (cumulative counts are computed by the exporters).
+type Bucket struct {
+	Upper int64
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in ascending order of bound.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c != 0 {
+			out = append(out, Bucket{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}

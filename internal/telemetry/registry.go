@@ -1,0 +1,168 @@
+// Metric registry: named counters, gauges and histograms with label sets,
+// looked up once at setup time and held as pointers by the hot path. The
+// registry itself is never consulted per event — matching the simulator's
+// rule that steady-state work allocates nothing and touches no maps.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one key=value dimension on a metric, e.g. {"node", "3"} or
+// {"stage", "wire"}.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// NodeLabel labels a metric with a node id.
+func NodeLabel(node int) Label { return Label{Key: "node", Value: fmt.Sprintf("%d", node)} }
+
+// Counter is a monotonically increasing uint64. A nil *Counter ignores
+// updates, so call sites may hold one unconditionally.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins float64. A nil *Gauge ignores updates.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// metric kinds, used by the exporters.
+const (
+	KindCounter = iota
+	KindGauge
+	KindHistogram
+)
+
+// Metric is one registered instrument: a name, an ordered label set, and
+// exactly one of the three instrument pointers.
+type Metric struct {
+	Name   string
+	Labels []Label
+	Kind   int
+	C      *Counter
+	G      *Gauge
+	H      *Histogram
+}
+
+// labelString renders an ordered label set as `k="v",k2="v2"`.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	return sb.String()
+}
+
+// Registry owns a set of metrics. Lookups are by (name, sorted labels);
+// re-registering the same key returns the existing instrument, so any
+// component may idempotently claim "its" metric.
+type Registry struct {
+	metrics []*Metric
+	index   map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*Metric{}}
+}
+
+// lookup finds or creates the metric for (name, labels), enforcing kind.
+func (r *Registry) lookup(name string, kind int, labels []Label) *Metric {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := name + "{" + labelString(ls) + "}"
+	if m, ok := r.index[key]; ok {
+		if m.Kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered with different kind", key))
+		}
+		return m
+	}
+	m := &Metric{Name: name, Labels: ls, Kind: kind}
+	switch kind {
+	case KindCounter:
+		m.C = &Counter{}
+	case KindGauge:
+		m.G = &Gauge{}
+	case KindHistogram:
+		m.H = NewHistogram()
+	}
+	r.metrics = append(r.metrics, m)
+	r.index[key] = m
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it if needed.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, KindCounter, labels).C
+}
+
+// Gauge returns the gauge for (name, labels), creating it if needed.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, KindGauge, labels).G
+}
+
+// Histogram returns the histogram for (name, labels), creating it if
+// needed.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, KindHistogram, labels).H
+}
+
+// Metrics returns every registered metric sorted by name then label set —
+// the stable order every exporter emits.
+func (r *Registry) Metrics() []*Metric {
+	out := append([]*Metric(nil), r.metrics...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}

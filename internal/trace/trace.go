@@ -38,6 +38,18 @@ const (
 	TrackApp         // application-visible events
 )
 
+// trackNames names the well-known tracks, indexed by track id.
+var trackNames = [...]string{"host-cpu", "seastar-ppc", "wire", "app"}
+
+// TrackName returns the display name of a well-known track id ("track N"
+// for ids outside the table).
+func TrackName(tid int) string {
+	if tid >= 0 && tid < len(trackNames) {
+		return trackNames[tid]
+	}
+	return fmt.Sprintf("track %d", tid)
+}
+
 // Tracer accumulates records. The zero value is valid and enabled; a nil
 // *Tracer is valid and disabled — every method is nil-safe.
 type Tracer struct {
@@ -108,9 +120,6 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	}
 	var out []interface{}
 	seen := map[int]bool{}
-	trackNames := map[int]string{
-		TrackHost: "host-cpu", TrackPPC: "seastar-ppc", TrackWire: "wire", TrackApp: "app",
-	}
 	for _, r := range t.records {
 		if !seen[r.PID] {
 			seen[r.PID] = true
@@ -118,6 +127,8 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				"name": "process_name", "ph": "M", "pid": r.PID,
 				"args": map[string]string{"name": fmt.Sprintf("node %d", r.PID)},
 			})
+			// Emit thread names in fixed track order so the output is
+			// byte-identical across runs (a map range here would not be).
 			for tid, tn := range trackNames {
 				out = append(out, map[string]interface{}{
 					"name": "thread_name", "ph": "M", "pid": r.PID, "tid": tid,
@@ -137,4 +148,30 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// ReadChrome parses a WriteChrome file back into records, dropping the
+// metadata ("M") entries — the inverse used by offline analyzers
+// (cmd/p3stat) so a saved timeline can be summarized without re-running
+// the simulation. Timestamps survive the microsecond round trip exactly:
+// Micros divides the picosecond value by 1e6 and float64 holds any sim
+// horizon's microsecond count with sub-picosecond slack.
+func ReadChrome(r io.Reader) ([]Record, error) {
+	var raw []chromeEvent
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, ev := range raw {
+		if ev.Ph == "M" || ev.Ph == "" {
+			continue
+		}
+		out = append(out, Record{
+			Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph,
+			TS:  sim.Time(ev.TS * 1e6),
+			Dur: sim.Time(ev.Dur * 1e6),
+			PID: ev.PID, TID: ev.TID, Args: ev.Args,
+		})
+	}
+	return out, nil
 }

@@ -64,6 +64,81 @@ func TestRecordsAndChromeFormat(t *testing.T) {
 	}
 }
 
+// TestWriteChromeDeterministic pins the exact serialized form: thread-name
+// metadata must come out in track order (a map range here once made the
+// file differ between runs), and repeated writes must be byte-identical.
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		tr.Span(1, TrackHost, "os", "interrupt", 2*sim.Microsecond, 2*sim.Microsecond, nil)
+		tr.Span(0, TrackPPC, "fw", "tx-start", 0, 900*sim.Nanosecond, nil)
+		tr.Instant(0, TrackWire, "net", "inject", sim.Microsecond, nil)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("WriteChrome not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	const want = `[{"args":{"name":"node 1"},"name":"process_name","ph":"M","pid":1},` +
+		`{"args":{"name":"host-cpu"},"name":"thread_name","ph":"M","pid":1,"tid":0},` +
+		`{"args":{"name":"seastar-ppc"},"name":"thread_name","ph":"M","pid":1,"tid":1},` +
+		`{"args":{"name":"wire"},"name":"thread_name","ph":"M","pid":1,"tid":2},` +
+		`{"args":{"name":"app"},"name":"thread_name","ph":"M","pid":1,"tid":3},` +
+		`{"name":"interrupt","cat":"os","ph":"X","ts":2,"dur":2,"pid":1,"tid":0},` +
+		`{"args":{"name":"node 0"},"name":"process_name","ph":"M","pid":0},` +
+		`{"args":{"name":"host-cpu"},"name":"thread_name","ph":"M","pid":0,"tid":0},` +
+		`{"args":{"name":"seastar-ppc"},"name":"thread_name","ph":"M","pid":0,"tid":1},` +
+		`{"args":{"name":"wire"},"name":"thread_name","ph":"M","pid":0,"tid":2},` +
+		`{"args":{"name":"app"},"name":"thread_name","ph":"M","pid":0,"tid":3},` +
+		`{"name":"tx-start","cat":"fw","ph":"X","ts":0,"dur":0.9,"pid":0,"tid":1},` +
+		`{"name":"inject","cat":"net","ph":"i","ts":1,"pid":0,"tid":2,"s":"t"}]` + "\n"
+	if a.String() != want {
+		t.Errorf("golden mismatch:\ngot  %s\nwant %s", a.String(), want)
+	}
+}
+
+func TestReadChromeRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Span(2, TrackPPC, "fw", "rx-header", 6*sim.Microsecond, 600*sim.Nanosecond, nil)
+	tr.Instant(2, TrackApp, "ev", "put-end", 9*sim.Microsecond, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (metadata must be dropped)", len(recs))
+	}
+	want := tr.Records()
+	for i, r := range recs {
+		w := want[i]
+		if r.Name != w.Name || r.Cat != w.Cat || r.Ph != w.Ph ||
+			r.TS != w.TS || r.Dur != w.Dur || r.PID != w.PID || r.TID != w.TID {
+			t.Errorf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestTrackName(t *testing.T) {
+	for tid, want := range map[int]string{
+		TrackHost: "host-cpu", TrackPPC: "seastar-ppc",
+		TrackWire: "wire", TrackApp: "app", 9: "track 9",
+	} {
+		if got := TrackName(tid); got != want {
+			t.Errorf("TrackName(%d) = %q, want %q", tid, got, want)
+		}
+	}
+}
+
 func TestRecordsReturnsCopy(t *testing.T) {
 	tr := New()
 	tr.Instant(0, TrackApp, "a", "b", 0, nil)

@@ -8,6 +8,14 @@
 set -e
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "FAIL: gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -24,7 +32,7 @@ fi
 
 echo "== substrate benchmarks vs BENCH_substrate.json =="
 out=$(go test -run xxx \
-    -bench 'SimulatorEventThroughput$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut' \
+    -bench 'SimulatorEventThroughput$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut|PingPongTelemetry' \
     -benchtime 200ms -benchmem . | grep '^Benchmark' || true)
 echo "$out"
 
