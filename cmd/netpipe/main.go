@@ -15,6 +15,14 @@
 //	netpipe -series put -pattern pingpong -max 1048576
 //	netpipe -series mpich2 -pattern stream
 //	netpipe -series put -pattern pingpong -accel   # accelerated mode
+//
+// The fabric's fault-injection plane is exposed for lossy-fabric runs;
+// combine it with -gbn so the go-back-n protocol recovers the losses
+// (without it, dropped frames are simply gone, as on a panic-policy
+// machine):
+//
+//	netpipe -series put -gbn -faults drop:data:0.01,drop:fcack:0.05
+//	netpipe -series put -gbn -faults delay:data:0.02:20us -faultseed 7
 package main
 
 import (
@@ -57,17 +65,27 @@ func main() {
 	stats := flag.Bool("stats", false, "print machine counters after the run (with -series)")
 	telemetryOut := flag.String("telemetry", "", "write telemetry after the run: JSON, or Prometheus text with a .prom suffix (with -series)")
 	sample := flag.Int("sample", 1000, "RAS sampler period in simulated microseconds, 0 to disable (with -telemetry)")
-	ablations := flag.Bool("ablations", false, "run the design-choice ablations (A1-A5) and print checks")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations (A1-A6) and print checks")
+	faults := flag.String("faults", "", "seeded fault injection: kind:frame:prob[:delay] rules, comma-separated (kinds drop,dup,delay,reorder; frames any,data,fcack,fcnack)")
+	faultSeed := flag.Int64("faultseed", 0, "fault plane PRNG seed; 0 uses the built-in default (with -faults)")
+	gbn := flag.Bool("gbn", false, "enable the go-back-n loss/exhaustion recovery protocol (with -series)")
 	flag.Parse()
 
 	p := model.Defaults()
+	rules, err := model.ParseFaults(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p.Faults = rules
+	p.FaultSeed = *faultSeed
 	switch {
 	case *ablations:
 		runAblations(p)
 	case *fig != "":
 		runFigures(p, *fig, *checks)
 	case *series != "":
-		runSeries(p, *series, *pattern, *maxBytes, *accel, *traceOut, *stats, *telemetryOut, *sample)
+		runSeries(p, *series, *pattern, *maxBytes, *accel, *gbn, *traceOut, *stats, *telemetryOut, *sample)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -82,6 +100,10 @@ func runAblations(p model.Params) {
 	gbn := experiments.AblationGoBackN(p, 4, 30, 2048)
 	fmt.Printf("  %v\n  %v\n", gbn[0], gbn[1])
 	experiments.RenderChecks(os.Stdout, experiments.GbnChecks(gbn))
+	fmt.Println("\n# A6: incast over a lossy fabric, panic vs go-back-n (DESIGN.md §9)")
+	lossy := experiments.AblationLossyIncast(p, 4, 30, 2048, 0xfa017)
+	fmt.Printf("  %v\n  %v\n", lossy.Arms[0], lossy.Arms[1])
+	experiments.RenderChecks(os.Stdout, experiments.LossyChecks(lossy))
 	fmt.Println("\n# A3: inline payload optimization removed (paper §6)")
 	experiments.RenderChecks(os.Stdout, experiments.AblationInline(p).Checks())
 	fmt.Println("\n# A4: interrupt coalescing removed (paper §4.1)")
@@ -141,7 +163,7 @@ func showBreakdown(p model.Params) {
 	experiments.RenderChecks(os.Stdout, experiments.BreakdownChecks(bd))
 }
 
-func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool, traceOut string, stats bool, telemetryOut string, sampleUs int) {
+func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn bool, traceOut string, stats bool, telemetryOut string, sampleUs int) {
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = maxBytes
 	if accel {
@@ -149,9 +171,12 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool,
 	}
 	var mach *machine.Machine
 	var tracer *trace.Tracer
-	if traceOut != "" || stats || telemetryOut != "" {
+	if traceOut != "" || stats || telemetryOut != "" || gbn || len(p.Faults) > 0 {
 		cfg.Observe = func(m *machine.Machine) {
 			mach = m
+			if gbn {
+				m.EnableGoBackN()
+			}
 			if traceOut != "" {
 				tracer = m.EnableTracing()
 			}
@@ -196,6 +221,9 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel bool,
 	if stats && mach != nil {
 		fmt.Println()
 		fmt.Print(mach.Stats())
+	}
+	if len(p.Faults) > 0 && mach != nil {
+		fmt.Printf("\nfault plane: %v\n", mach.Faults().Snapshot())
 	}
 	if telemetryOut != "" && mach != nil {
 		if err := writeTelemetry(mach, telemetryOut); err != nil {

@@ -53,6 +53,15 @@ func TestAblationGoBackN(t *testing.T) {
 	}
 }
 
+func TestAblationLossyIncast(t *testing.T) {
+	r := AblationLossyIncast(model.Defaults(), 4, 30, 2048, 0xfa017)
+	for _, c := range LossyChecks(r) {
+		if !c.Pass {
+			t.Errorf("%s: %s", c.Name, c.Measured)
+		}
+	}
+}
+
 func TestRenderFigureProducesTable(t *testing.T) {
 	f := Figure4(model.Defaults())
 	var sb strings.Builder

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"portals3/internal/core"
+	"portals3/internal/fabric"
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/netpipe"
@@ -27,12 +28,19 @@ type GbnResult struct {
 	NacksSent   uint64
 	NacksRcvd   uint64 // FC_NACK frames the senders received
 	Retransmits uint64
+	// Faults holds the fault plane's final counters when the run injected
+	// faults (the A6 lossy ablation); zero otherwise.
+	Faults fabric.FaultStats
 }
 
 func (r GbnResult) String() string {
-	return fmt.Sprintf("%-9s delivered %d/%d  panicked=%v  elapsed=%v  exhaustions=%d nacks-sent=%d nacks-rcvd=%d retransmits=%d",
+	s := fmt.Sprintf("%-9s delivered %d/%d  panicked=%v  elapsed=%v  exhaustions=%d nacks-sent=%d nacks-rcvd=%d retransmits=%d",
 		r.Policy, r.Completed, r.Sent, r.Panicked, r.Elapsed,
 		r.Exhaustions, r.NacksSent, r.NacksRcvd, r.Retransmits)
+	if r.Faults.Injected() > 0 {
+		s += "\n          faults: " + r.Faults.String()
+	}
+	return s
 }
 
 // AblationGoBackN runs the incast twice — panic policy and go-back-n, both
@@ -132,6 +140,9 @@ func runIncast(p model.Params, senders, msgsPerSender, msgBytes int, gbn bool) G
 	for s := 1; s <= senders; s++ {
 		res.Retransmits += m.Node(topo.NodeID(s)).NIC.Stats.Retransmits
 		res.NacksRcvd += m.Node(topo.NodeID(s)).NIC.Stats.NacksRcvd
+	}
+	if len(p.Faults) > 0 {
+		res.Faults = m.Faults().Snapshot()
 	}
 	return res
 }

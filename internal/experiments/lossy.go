@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"portals3/internal/model"
+	"portals3/internal/netpipe"
+	"portals3/internal/sim"
+)
+
+// This file is the A6 ablation: the go-back-n incast of A2, but over a
+// fabric that actually loses frames. The A2 incast only ever drops messages
+// at the receiver (pool exhaustion), so acks and nacks always arrive; here
+// the fault plane drops, duplicates, and delays data AND flow-control
+// frames with seeded probabilities, exercising the retransmission timer and
+// duplicate suppression under realistic loss. The panic arm shows what the
+// paper's current policy loses on such a fabric; the go-back-n arm must
+// deliver everything, and a same-seed rerun must reproduce it bit-exactly.
+
+// LossyFaults is the A6 fault mix: every class of fault the protocol must
+// absorb, at rates high enough to fire many times per run.
+func LossyFaults() []model.FaultRule {
+	return []model.FaultRule{
+		model.NewFault(model.FaultDrop, model.FrameData, 0.03),
+		model.NewFault(model.FaultDrop, model.FrameFcAck, 0.05),
+		model.NewFault(model.FaultDrop, model.FrameFcNack, 0.05),
+		model.NewFault(model.FaultDup, model.FrameData, 0.02),
+		model.NewFault(model.FaultDelay, model.FrameData, 0.02).WithDelay(10 * sim.Microsecond),
+	}
+}
+
+// LossyResult is the A6 ablation outcome.
+type LossyResult struct {
+	Seed  int64
+	Arms  [2]GbnResult // [0] panic policy, [1] go-back-n
+	Rerun GbnResult    // go-back-n again under the same seed (determinism probe)
+}
+
+// AblationLossyIncast runs the many-to-one incast over the lossy fabric:
+// panic arm, go-back-n arm, and a same-seed repeat of the go-back-n arm,
+// all concurrently on the experiment driver.
+func AblationLossyIncast(p model.Params, senders, msgsPerSender, msgBytes int, seed int64) LossyResult {
+	p.Faults = LossyFaults()
+	p.FaultSeed = seed
+	res := LossyResult{Seed: seed}
+	runs := [3]*GbnResult{&res.Arms[0], &res.Arms[1], &res.Rerun}
+	netpipe.ForEach(Parallelism, 3, func(i int) {
+		*runs[i] = runIncast(p, senders, msgsPerSender, msgBytes, i != 0)
+	})
+	return res
+}
+
+// LossyChecks validates the A6 shape: under real loss the panic policy
+// loses the application, go-back-n loses nothing, the fault ledger closes,
+// and the seed fully determines the run.
+func LossyChecks(r LossyResult) []Check {
+	panicArm, gbn := r.Arms[0], r.Arms[1]
+	return []Check{
+		{
+			Name:     "panic policy fails under incast over a lossy fabric",
+			Paper:    "the current approach is to panic the node (§4.3)",
+			Measured: fmt.Sprintf("delivered %d/%d, panicked=%v", panicArm.Completed, panicArm.Sent, panicArm.Panicked),
+			Pass:     panicArm.Panicked && panicArm.Completed < panicArm.Sent,
+		},
+		{
+			Name:  "go-back-n delivers 100% with zero panics under drop/dup/delay",
+			Paper: "a simple go-back-n protocol to resolve resource exhaustion (§4.3)",
+			Measured: fmt.Sprintf("delivered %d/%d, panicked=%v, %d faults injected",
+				gbn.Completed, gbn.Sent, gbn.Panicked, gbn.Faults.Injected()),
+			Pass: !gbn.Panicked && gbn.Completed == gbn.Sent && gbn.Faults.Injected() > 0,
+		},
+		{
+			Name:     "fault ledger balances: injected == recovered + condemned",
+			Paper:    "telemetry accounts for every injected fault (DESIGN.md §9)",
+			Measured: gbn.Faults.String(),
+			Pass:     gbn.Faults.Injected() > 0 && gbn.Faults.Open() == 0,
+		},
+		{
+			Name:     "same seed replays bit-identically",
+			Paper:    "a given seed produces a bit-identical run (DESIGN.md §9)",
+			Measured: fmt.Sprintf("elapsed %v vs %v, counters equal=%v", gbn.Elapsed, r.Rerun.Elapsed, gbn == r.Rerun),
+			Pass:     gbn == r.Rerun,
+		},
+	}
+}

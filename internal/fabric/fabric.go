@@ -136,12 +136,17 @@ type Fabric struct {
 	// end-to-end (test fault injection).
 	corruptNext int
 
+	// plane, when non-nil, filters every injection through the seeded
+	// fault-injection rules (see faults.go). Fault-free fabrics keep it
+	// nil and pay one pointer test per injection.
+	plane *FaultPlane
+
 	Stats Stats
 }
 
 // New returns a fabric over the given topology.
 func New(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		S:      s,
 		Topo:   t,
 		P:      p,
@@ -149,6 +154,10 @@ func New(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
 		eps:    make(map[topo.NodeID]Endpoint),
 		routes: make(map[[2]topo.NodeID][]topo.Dir),
 	}
+	if len(p.Faults) > 0 || p.FaultSeed != 0 {
+		f.Faults() // params-configured rules activate the plane immediately
+	}
+	return f
 }
 
 // Attach registers the endpoint for node. Attaching twice panics: it is a
@@ -330,12 +339,7 @@ func (f *Fabric) transmissions(nbytes int) int {
 func (f *Fabric) traverse(src, dst topo.NodeID, nbytes int, deliver func()) {
 	t := f.S.Now() + f.P.InjectLatency
 	cur := src
-	route, ok := f.routes[[2]topo.NodeID{src, dst}]
-	if !ok {
-		route = f.Topo.Route(src, dst)
-		f.routes[[2]topo.NodeID{src, dst}] = route
-	}
-	for _, d := range route {
+	for _, d := range f.route(src, dst) {
 		k := f.transmissions(nbytes)
 		dur := sim.BytesAt(int64(nbytes), f.P.LinkBps)
 		occupancy := sim.Time(k)*dur + sim.Time(k-1)*f.P.LinkRetryDelay
@@ -351,6 +355,16 @@ func (f *Fabric) traverse(src, dst topo.NodeID, nbytes int, deliver func()) {
 	}
 	// Loopback (src == dst) still pays injection+ejection through the NIC.
 	f.S.At(t+f.P.InjectLatency, deliver)
+}
+
+// route returns (caching) the fixed dimension-ordered path src→dst.
+func (f *Fabric) route(src, dst topo.NodeID) []topo.Dir {
+	route, ok := f.routes[[2]topo.NodeID{src, dst}]
+	if !ok {
+		route = f.Topo.Route(src, dst)
+		f.routes[[2]topo.NodeID{src, dst}] = route
+	}
+	return route
 }
 
 // sendOp walks one header packet or payload chunk through its two deferred
@@ -402,6 +416,9 @@ func (s *sendOp) headerArrived() {
 	s.ep, s.m = nil, nil
 	f.sendFree = append(f.sendFree, s)
 	m.Rec.Stamp(telemetry.StampRxHdr, f.S.Now())
+	if f.plane != nil {
+		f.plane.noteDelivered(m)
+	}
 	if f.Trace.Enabled() {
 		f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx hdr "+m.Hdr.Type.String(), f.S.Now(),
 			map[string]interface{}{"msg": m.ID, "src": m.Src})
@@ -439,11 +456,20 @@ func (s *sendOp) chunkArrived() {
 // credits from the receiver window (returned by the receiving NIC once the
 // header has been pushed to the host) and delivers via HeaderArrived.
 func (f *Fabric) SendHeader(m *Message) {
-	ep := f.eps[m.Dst]
-	if ep == nil {
+	if f.eps[m.Dst] == nil {
 		panic(fmt.Sprintf("fabric: no endpoint at node %d", m.Dst))
 	}
 	f.Stats.Messages++
+	if f.plane != nil && f.plane.filterHeader(m) {
+		return
+	}
+	f.sendHeaderNow(m)
+}
+
+// sendHeaderNow is the fault-free injection path; the fault plane calls it
+// for duplicated, delayed and resumed headers, bypassing rule evaluation.
+func (f *Fabric) sendHeaderNow(m *Message) {
+	ep := f.eps[m.Dst]
 	s := f.getSendOp()
 	s.ep = ep
 	s.m = m
@@ -456,8 +482,7 @@ func (f *Fabric) SendHeader(m *Message) {
 // the sender exactly as link-level flow control does on the real machine.
 func (f *Fabric) SendChunk(c *Chunk) {
 	m := c.Msg
-	ep := f.eps[m.Dst]
-	if ep == nil {
+	if f.eps[m.Dst] == nil {
 		panic(fmt.Sprintf("fabric: no endpoint at node %d", m.Dst))
 	}
 	if f.corruptNext > 0 && c.Last {
@@ -470,6 +495,15 @@ func (f *Fabric) SendChunk(c *Chunk) {
 		}
 	}
 	f.Stats.Chunks++
+	if f.plane != nil && f.plane.filterChunk(c) {
+		return
+	}
+	f.sendChunkNow(c)
+}
+
+// sendChunkNow is the fault-free chunk injection path (see sendHeaderNow).
+func (f *Fabric) sendChunkNow(c *Chunk) {
+	ep := f.eps[c.Msg.Dst]
 	s := f.getSendOp()
 	s.ep = ep
 	s.c = c

@@ -10,3 +10,6 @@ func (n *NIC) TxQueueLen() int { return len(n.txq) - n.txqHead }
 
 // SourceCount exposes the active source table size.
 func (n *NIC) SourceCount() int { return len(n.sources) }
+
+// SourcesFree exposes the remaining global source-pool capacity.
+func (n *NIC) SourcesFree() int { return n.sourceFree }

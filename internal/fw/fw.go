@@ -208,6 +208,13 @@ type source struct {
 	unacked    []*TxReq
 	timerArmed bool
 	lastAck    sim.Time
+	// ackedSeq is the peer's cumulative acknowledgment high-water mark. An
+	// ack can outrun our own transmit completion — the peer re-acks a
+	// duplicate as soon as its header arrives, while our chunk pipeline is
+	// still streaming — so the position must survive until the transmit
+	// finishes, or the message parks on unacked forever and the timer
+	// retransmits it in an endless cycle.
+	ackedSeq uint32
 }
 
 // Stats counts firmware activity for tests and reports.
@@ -222,6 +229,8 @@ type Stats struct {
 	NacksRcvd    uint64
 	Retransmits  uint64
 	Discards     uint64
+	GbnTimeouts  uint64 // go-back-n timer expiries that triggered a resend
+	DupAcks      uint64 // duplicate data messages re-acked and discarded
 }
 
 // ExhaustPolicy selects the firmware's response to resource exhaustion.

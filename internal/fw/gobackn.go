@@ -42,12 +42,13 @@ func (n *NIC) gbnAcceptRx(src *source, m *fabric.Message) bool {
 		// Peer runs without the protocol (mixed configuration): accept.
 		return true
 	}
-	if src.rxSeq == 0 && m.FwSeq > 1 {
-		// Fresh source structure mid-flow (the pool filled and this peer's
-		// state was never established): adopt the peer's position rather
-		// than forcing an unsatisfiable rewind to 1.
-		src.rxSeq = m.FwSeq - 1
-	}
+	// A fresh source structure seeing a mid-flow sequence (rxSeq == 0,
+	// FwSeq > 1) is a gap like any other: sources are never evicted, so a
+	// never-established source means nothing from this peer was ever
+	// accepted — and therefore never acknowledged. The sender still holds
+	// every unacked message, and the rewind to 1 is always satisfiable.
+	// (Adopting the peer's position instead would silently skip a dropped
+	// first message.)
 	expected := src.rxSeq + 1
 	switch {
 	case m.FwSeq == expected:
@@ -59,6 +60,7 @@ func (n *NIC) gbnAcceptRx(src *source, m *fabric.Message) bool {
 		// Duplicate of something already delivered: re-ack and discard so
 		// the sender releases it.
 		n.Stats.NacksSent++ // counted as control traffic
+		n.Stats.DupAcks++
 		n.sendControl(src.nid, wire.TypeFcAck, src.rxSeq)
 		n.condemn(m)
 		return false
@@ -80,6 +82,7 @@ func (n *NIC) gbnAdvance(src *source, m *fabric.Message) {
 		return
 	}
 	src.rxSeq = m.FwSeq
+	n.Fab.FaultAccepted(m)
 }
 
 // nackAndDiscard handles exhaustion under go-back-n: drop the message's
@@ -123,13 +126,25 @@ func (n *NIC) gbnHoldCompletion(req *TxReq) {
 		n.finishTx(req, true)
 		return
 	}
+	if req.seq != 0 && req.seq <= src.ackedSeq {
+		// The peer's cumulative ack already covers this sequence: its ack
+		// crossed our still-running chunk pipeline. Complete immediately —
+		// parking it would strand it (nothing further acks an old sequence).
+		n.finishTx(req, true)
+		return
+	}
 	src.unacked = append(src.unacked, req)
 	n.gbnArmTimer(src)
 }
 
-// handleFlowControl processes FC_ACK and FC_NACK frames in firmware.
+// handleFlowControl processes FC_ACK and FC_NACK frames in firmware. The
+// lookup must not allocate: an ack or nack only ever follows our own
+// transmission, which already established the source structure. Allocating
+// here would let pure control traffic from an unknown peer drain the global
+// source pool — control frames causing the very exhaustion the protocol
+// exists to resolve.
 func (n *NIC) handleFlowControl(m *fabric.Message) {
-	src := n.allocSource(topo.NodeID(m.Hdr.SrcNid))
+	src := n.sources[topo.NodeID(m.Hdr.SrcNid)]
 	if src == nil {
 		return // no state, nothing to release or rewind
 	}
@@ -137,6 +152,9 @@ func (n *NIC) handleFlowControl(m *fabric.Message) {
 	switch m.Hdr.Type {
 	case wire.TypeFcAck:
 		src.lastAck = n.S.Now()
+		if seq > src.ackedSeq {
+			src.ackedSeq = seq
+		}
 		kept := src.unacked[:0]
 		for _, req := range src.unacked {
 			if req.seq <= seq {
@@ -197,6 +215,7 @@ func (n *NIC) gbnArmTimer(src *source) {
 			n.gbnArmTimer(src)
 			return
 		}
+		n.Stats.GbnTimeouts++
 		resend := append([]*TxReq(nil), src.unacked...)
 		src.unacked = src.unacked[:0]
 		n.gbnRequeue(resend)

@@ -198,6 +198,7 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 
 // condemn marks a message's remaining payload for silent discard.
 func (n *NIC) condemn(m *fabric.Message) {
+	n.Fab.FaultCondemned(m)
 	stub, ok := n.streams[m.ID]
 	delete(n.streams, m.ID)
 	remaining := m.PayloadLen

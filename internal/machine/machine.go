@@ -179,6 +179,27 @@ func (m *Machine) EnableGoBackN() {
 	}
 }
 
+// Faults returns the fabric's fault-injection plane, creating it on first
+// use. Scenarios configure rules either up front via Params.Faults or at
+// runtime through the plane (AddRule, LinkDownFor, StallNodeFor, ...);
+// either way the plane's seeded PRNG keeps the run reproducible.
+func (m *Machine) Faults() *fabric.FaultPlane { return m.Fab.Faults() }
+
+// InjectFault appends one fault rule at runtime.
+func (m *Machine) InjectFault(r model.FaultRule) { m.Fab.Faults().AddRule(r) }
+
+// StallNodeFor holds all traffic destined to a node for dur, releasing it
+// in arrival order — a hung NIC that later resumes.
+func (m *Machine) StallNodeFor(node topo.NodeID, dur sim.Time) {
+	m.Fab.Faults().StallNodeFor(node, dur)
+}
+
+// LinkDownFor takes the directed link leaving node in direction d out of
+// service for dur; messages routed across it are dropped meanwhile.
+func (m *Machine) LinkDownFor(node topo.NodeID, d topo.Dir, dur sim.Time) {
+	m.Fab.Faults().LinkDownFor(node, d, dur)
+}
+
 // App is one running application process.
 type App struct {
 	M    *Machine

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"testing"
+
+	"portals3/internal/sim"
+)
+
+func TestParseFaults(t *testing.T) {
+	rules, err := ParseFaults("drop:data:0.02, drop:fcack:0.1,dup:any:1,delay:data:0.05:20us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	want := []FaultRule{
+		NewFault(FaultDrop, FrameData, 0.02),
+		NewFault(FaultDrop, FrameFcAck, 0.1),
+		NewFault(FaultDup, FrameAny, 1),
+		NewFault(FaultDelay, FrameData, 0.05).WithDelay(20 * sim.Microsecond),
+	}
+	for i, r := range rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestParseFaultsAliases(t *testing.T) {
+	rules, err := ParseFaults("duplicate:all:0.5,drop:ack:1,reorder:nack:1:5us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Kind != FaultDup || rules[0].Frame != FrameAny {
+		t.Errorf("duplicate:all = %+v", rules[0])
+	}
+	if rules[1].Frame != FrameFcAck || rules[2].Frame != FrameFcNack {
+		t.Errorf("ack/nack aliases: %+v %+v", rules[1], rules[2])
+	}
+	if rules[2].Kind != FaultReorder || rules[2].Delay != 5*sim.Microsecond {
+		t.Errorf("reorder delay = %+v", rules[2])
+	}
+}
+
+func TestParseFaultsEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		rules, err := ParseFaults(spec)
+		if err != nil || rules != nil {
+			t.Errorf("ParseFaults(%q) = %v, %v; want nil, nil", spec, rules, err)
+		}
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	bad := []string{
+		"drop:data",            // missing probability
+		"melt:data:0.5",        // unknown kind
+		"drop:voice:0.5",       // unknown frame class
+		"drop:data:0",          // probability out of range
+		"drop:data:1.5",        // probability out of range
+		"drop:data:x",          // not a number
+		"delay:data:0.5",       // delay without a duration
+		"delay:data:0.5:-3us",  // negative duration
+		"reorder:data:0.5:bad", // unparsable duration
+		"drop:data:0.5,???",    // one good rule, one bad
+	}
+	for _, spec := range bad {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", spec)
+		}
+	}
+}
+
+func TestFaultRuleModifiers(t *testing.T) {
+	r := NewFault(FaultDrop, FrameData, 0.5)
+	if r.Src != AnyNode || r.Dst != AnyNode {
+		t.Fatalf("NewFault must default to wildcard scope, got %+v", r)
+	}
+	r = r.From(3).To(0).WithCount(2).Between(sim.Microsecond, 2*sim.Microsecond)
+	if r.Src != 3 || r.Dst != 0 || r.Count != 2 ||
+		r.After != sim.Microsecond || r.Until != 2*sim.Microsecond {
+		t.Errorf("modifiers lost: %+v", r)
+	}
+}

@@ -141,6 +141,19 @@ type Params struct {
 	// this much silence from the peer.
 	GbnTimeout sim.Time
 
+	// ---- Fault injection (see faults.go and DESIGN.md §9) ----
+
+	// Faults configures the fabric's fault-injection plane; a non-empty
+	// list creates the plane at machine construction. Nil (the default)
+	// leaves the fabric fault-free and the injection hot path untouched.
+	Faults []FaultRule
+
+	// FaultSeed seeds the fault plane's private PRNG. The plane never
+	// draws from the simulator's RNG, so fault decisions cannot perturb
+	// fault-free event ordering; a given (Faults, FaultSeed) pair replays
+	// bit-identically. Zero selects the plane's fixed default seed.
+	FaultSeed int64
+
 	// ---- Host processor and operating systems (paper §3.3) ----
 
 	// HostHz is the compute-node processor clock: 2.0 GHz Opteron (§5.1).

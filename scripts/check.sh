@@ -31,19 +31,45 @@ if [ "$1" = "-fast" ]; then
 fi
 
 echo "== substrate benchmarks vs BENCH_substrate.json =="
-out=$(go test -run xxx \
+if ! bench_raw=$(go test -run xxx \
     -bench 'SimulatorEventThroughput$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut|PingPongTelemetry' \
-    -benchtime 200ms -benchmem . | grep '^Benchmark' || true)
+    -benchtime 200ms -benchmem . 2>&1); then
+    echo "FAIL: benchmark run exited non-zero:"
+    echo "$bench_raw"
+    exit 1
+fi
+out=$(echo "$bench_raw" | grep '^Benchmark' || true)
+if [ -z "$out" ]; then
+    # An empty result here means the bench pattern rotted or the run was
+    # silently broken — not that everything passed.
+    echo "FAIL: benchmark run produced no Benchmark lines; output was:"
+    echo "$bench_raw"
+    exit 1
+fi
 echo "$out"
 
 fail=0
+matched=0
 # allocs/op is column 7 of `go test -benchmem` output; it must match the
 # baseline exactly. ns/op (column 3) may drift up to 3x before we flag it —
 # the point is catching a reintroduced per-event allocation or a gross
 # slowdown, not measuring the host.
 while read -r name _ ns _ _ _ allocs _; do
-    base=$(sed -n "s/.*\"$name\": { \"ns_per_op\": \([0-9.]*\), \"allocs_per_op\": \([0-9]*\) }.*/\1 \2/p" BENCH_substrate.json | head -1)
-    [ -z "$base" ] && continue
+    [ -z "$name" ] && continue
+    # The output name carries a -GOMAXPROCS suffix (BenchmarkSimulatedPut-8)
+    # that the baseline keys do not.
+    name=${name%-*}
+    # Look the baseline up inside the "benchmarks" object only (the
+    # seed_reference section repeats a key with pre-optimization values),
+    # tolerating any whitespace layout.
+    base=$(awk '/"benchmarks"[[:space:]]*:/{f=1;next} f&&/^[[:space:]]*}/{f=0} f' BENCH_substrate.json |
+        sed -n "s/.*\"$name\"[[:space:]]*:[[:space:]]*{[[:space:]]*\"ns_per_op\"[[:space:]]*:[[:space:]]*\([0-9.]*\)[[:space:]]*,[[:space:]]*\"allocs_per_op\"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p" |
+        head -1)
+    if [ -z "$base" ]; then
+        echo "WARN: $name has no baseline in BENCH_substrate.json"
+        continue
+    fi
+    matched=$((matched + 1))
     base_ns=${base% *}
     base_allocs=${base#* }
     if [ "$allocs" != "$base_allocs" ]; then
@@ -58,8 +84,13 @@ done <<EOF
 $out
 EOF
 
+if [ "$matched" = "0" ]; then
+    echo "FAIL: no benchmark matched a baseline in BENCH_substrate.json (key or format drift?)"
+    fail=1
+fi
 if [ "$fail" != "0" ]; then
     echo "check.sh: substrate benchmark regression"
     exit 1
 fi
+echo "check.sh: $matched benchmarks checked against baselines"
 echo "check.sh: all green"
