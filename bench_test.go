@@ -299,6 +299,26 @@ func BenchmarkPingPongTelemetryOn(b *testing.B) {
 	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
 }
 
+// BenchmarkPingPongFlightRecOn is the same workload with the flight
+// recorder and stall detector armed. The recorder's hot path is a nil test
+// plus a fixed-slot ring write per firmware transition, so the delta
+// against ...TelemetryOff must stay within a few percent and allocs/op
+// must not move at all.
+func BenchmarkPingPongFlightRecOn(b *testing.B) {
+	b.ReportAllocs()
+	cfg := netpipe.DefaultConfig()
+	cfg.MaxBytes = 1
+	cfg.MinIters = b.N
+	cfg.MaxIters = b.N
+	cfg.Mode = machine.Generic
+	cfg.Observe = func(m *machine.Machine) {
+		m.EnableFlightRecorder(0)
+		m.StartStallDetector(1 * sim.Millisecond)
+	}
+	b.ResetTimer()
+	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
+}
+
 // BenchmarkAblationInlineOptimization removes the ≤12-byte
 // payload-in-header path (§6) and reports the small-message cost.
 func BenchmarkAblationInlineOptimization(b *testing.B) {

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"portals3/internal/experiments"
+	"portals3/internal/flightrec"
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/mpi"
@@ -54,6 +55,36 @@ func writeTelemetry(m *machine.Machine, path string) error {
 	return m.Telemetry().WriteJSON(f, m.S.Now())
 }
 
+// writeDumps saves the run's flight-recorder artifacts: the end-of-run
+// snapshot to out, plus each failure report's at-detection dump alongside
+// it. Every dump is deterministic — a same-seed rerun writes identical
+// bytes.
+func writeDumps(m *machine.Machine, out string) {
+	writeDump := func(path string, d *flightrec.Dump) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := d.Encode(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	base := strings.TrimSuffix(out, ".p3dump")
+	for i, r := range m.Reports() {
+		fmt.Printf("\nfailure: %v\n", r)
+		if r.Dump != nil {
+			path := fmt.Sprintf("%s.%d.%s.p3dump", base, i, r.Kind)
+			writeDump(path, r.Dump)
+			fmt.Printf("failure dump written to %s (render with p3dump)\n", path)
+		}
+	}
+	writeDump(out, m.TakeDump("end of run"))
+	fmt.Printf("flight recorder dump written to %s (render with p3dump)\n", out)
+}
+
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 4, 5, 6, 7 or all")
 	series := flag.String("series", "", "single curve: put, get, mpich1, mpich2")
@@ -69,6 +100,10 @@ func main() {
 	faults := flag.String("faults", "", "seeded fault injection: kind:frame:prob[:delay] rules, comma-separated (kinds drop,dup,delay,reorder; frames any,data,fcack,fcnack)")
 	faultSeed := flag.Int64("faultseed", 0, "fault plane PRNG seed; 0 uses the built-in default (with -faults)")
 	gbn := flag.Bool("gbn", false, "enable the go-back-n loss/exhaustion recovery protocol (with -series)")
+	flightrecOn := flag.Bool("flightrec", false, "enable the per-node flight recorder and write an end-of-run dump (with -series)")
+	flightrecEvents := flag.Int("flightrec-events", 0, "flight recorder ring capacity per node, 0 for the default")
+	dumpOnStall := flag.Int("dump-on-stall", 0, "stall detection window in simulated microseconds; a stalled flow dumps the recorder (with -flightrec)")
+	dumpOut := flag.String("dumpout", "netpipe.p3dump", "flight recorder dump file (with -flightrec; render with p3dump)")
 	flag.Parse()
 
 	p := model.Defaults()
@@ -85,7 +120,9 @@ func main() {
 	case *fig != "":
 		runFigures(p, *fig, *checks)
 	case *series != "":
-		runSeries(p, *series, *pattern, *maxBytes, *accel, *gbn, *traceOut, *stats, *telemetryOut, *sample)
+		fr := frOpts{on: *flightrecOn || *dumpOnStall > 0, events: *flightrecEvents,
+			stallUs: *dumpOnStall, out: *dumpOut}
+		runSeries(p, *series, *pattern, *maxBytes, *accel, *gbn, *traceOut, *stats, *telemetryOut, *sample, fr)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -163,7 +200,15 @@ func showBreakdown(p model.Params) {
 	experiments.RenderChecks(os.Stdout, experiments.BreakdownChecks(bd))
 }
 
-func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn bool, traceOut string, stats bool, telemetryOut string, sampleUs int) {
+// frOpts carries the flight-recorder flags into runSeries.
+type frOpts struct {
+	on      bool
+	events  int // ring capacity per node, 0 for the default
+	stallUs int // stall detection window in simulated microseconds, 0 off
+	out     string
+}
+
+func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn bool, traceOut string, stats bool, telemetryOut string, sampleUs int, fr frOpts) {
 	cfg := netpipe.DefaultConfig()
 	cfg.MaxBytes = maxBytes
 	if accel {
@@ -171,11 +216,17 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn 
 	}
 	var mach *machine.Machine
 	var tracer *trace.Tracer
-	if traceOut != "" || stats || telemetryOut != "" || gbn || len(p.Faults) > 0 {
+	if traceOut != "" || stats || telemetryOut != "" || gbn || fr.on || len(p.Faults) > 0 {
 		cfg.Observe = func(m *machine.Machine) {
 			mach = m
 			if gbn {
 				m.EnableGoBackN()
+			}
+			if fr.on {
+				m.EnableFlightRecorder(fr.events)
+				if fr.stallUs > 0 {
+					m.StartStallDetector(sim.Time(fr.stallUs) * sim.Microsecond)
+				}
 			}
 			if traceOut != "" {
 				tracer = m.EnableTracing()
@@ -224,6 +275,9 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn 
 	}
 	if len(p.Faults) > 0 && mach != nil {
 		fmt.Printf("\nfault plane: %v\n", mach.Faults().Snapshot())
+	}
+	if fr.on && mach != nil {
+		writeDumps(mach, fr.out)
 	}
 	if telemetryOut != "" && mach != nil {
 		if err := writeTelemetry(mach, telemetryOut); err != nil {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"portals3/internal/telemetry"
@@ -112,6 +113,8 @@ func render(e *telemetry.Export, path string) {
 		}
 	}
 
+	renderOccupancy(e)
+
 	if len(scalars) > 0 {
 		fmt.Printf("\ncounters and gauges:\n")
 		for _, m := range scalars {
@@ -139,4 +142,106 @@ func render(e *telemetry.Export, path string) {
 		}
 	}
 	fmt.Println()
+}
+
+// occRow is one node's firmware occupancy assembled from the export.
+type occRow struct {
+	rxFree, rxLow   float64
+	txFree, txLow   float64
+	srcFree, srcLow float64
+	evq, evqHigh    float64
+}
+
+// nodeOf extracts the node id from a rendered label set (`node="3"`),
+// returning -1 when absent.
+func nodeOf(labels string) int {
+	const key = `node="`
+	i := strings.Index(labels, key)
+	if i < 0 {
+		return -1
+	}
+	rest := labels[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return -1
+	}
+	n := 0
+	for _, c := range rest[:j] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// renderOccupancy assembles the firmware occupancy table from the sampler's
+// occupancy series (free now) and watermark gauges (worst case), one row
+// per node.
+func renderOccupancy(e *telemetry.Export) {
+	rows := make(map[int]*occRow)
+	row := func(labels string) *occRow {
+		id := nodeOf(labels)
+		if id < 0 {
+			return nil
+		}
+		r := rows[id]
+		if r == nil {
+			r = &occRow{}
+			rows[id] = r
+		}
+		return r
+	}
+	for _, s := range e.Series {
+		r := row(s.Labels)
+		if r == nil || len(s.Values) == 0 {
+			continue
+		}
+		last := s.Values[len(s.Values)-1]
+		switch s.Name {
+		case "node_fw_rx_pendings_free":
+			r.rxFree = last
+		case "node_fw_tx_pendings_free":
+			r.txFree = last
+		case "node_fw_sources_free":
+			r.srcFree = last
+		case "node_evq_depth":
+			r.evq = last
+		}
+	}
+	seen := false
+	for _, m := range e.Metrics {
+		r := row(m.Labels)
+		if r == nil {
+			continue
+		}
+		switch m.Name {
+		case "node_fw_rx_pendings_low":
+			r.rxLow, seen = m.Value, true
+		case "node_fw_tx_pendings_low":
+			r.txLow, seen = m.Value, true
+		case "node_fw_sources_low":
+			r.srcLow, seen = m.Value, true
+		case "node_evq_high":
+			r.evqHigh, seen = m.Value, true
+		}
+	}
+	if !seen {
+		return
+	}
+	ids := make([]int, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\nfirmware occupancy (free now / low-water; evq depth / high-water):\n")
+	fmt.Printf("  %6s %16s %16s %16s %14s\n", "node", "rx-pend", "tx-pend", "sources", "evq")
+	for _, id := range ids {
+		r := rows[id]
+		fmt.Printf("  %6d %16s %16s %16s %14s\n", id,
+			fmt.Sprintf("%g lo %g", r.rxFree, r.rxLow),
+			fmt.Sprintf("%g lo %g", r.txFree, r.txLow),
+			fmt.Sprintf("%g lo %g", r.srcFree, r.srcLow),
+			fmt.Sprintf("%g hi %g", r.evq, r.evqHigh))
+	}
 }

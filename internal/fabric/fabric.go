@@ -52,6 +52,13 @@ type Message struct {
 	// outside the Portals header; zero when the protocol is disabled).
 	FwSeq uint32
 
+	// Span is the flight-recorder causal span id, copied from the
+	// originating TxReq at header injection (zero when the recorder is
+	// off). Unlike Rec it is copied, not moved: a go-back-n retransmission
+	// builds a fresh message from the retained request and must carry the
+	// same span so the rewind reads as one causal chain.
+	Span uint64
+
 	// OnInjected, when set, is called once the header packet has been
 	// granted receiver credits and enters the wire — the moment the TX
 	// state machine considers the packet "sent".

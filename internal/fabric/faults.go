@@ -163,6 +163,15 @@ func (f *Fabric) Faults() *FaultPlane {
 	return f.plane
 }
 
+// FaultSnapshot returns the plane's counters without activating a plane;
+// ok is false when no fault was ever configured (the counters are zero).
+func (f *Fabric) FaultSnapshot() (FaultStats, bool) {
+	if f.plane == nil {
+		return FaultStats{}, false
+	}
+	return f.plane.Stats, true
+}
+
 // FaultAccepted tells the plane the receiving firmware accepted a data
 // message (its go-back-n sequence committed). No-op without a plane.
 func (f *Fabric) FaultAccepted(m *Message) {
@@ -467,6 +476,7 @@ func (p *FaultPlane) cloneMsg(m *Message) *Message {
 	m2.CRC = m.CRC
 	m2.PayloadLen = m.PayloadLen
 	m2.FwSeq = m.FwSeq
+	m2.Span = m.Span
 	if len(m.Inline) > 0 {
 		m2.Inline = m2.inlBuf[:len(m.Inline)]
 		copy(m2.Inline, m.Inline)

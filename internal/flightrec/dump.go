@@ -1,0 +1,294 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"portals3/internal/sim"
+)
+
+// Occupancy is one node's firmware resource watermarks at snapshot time —
+// the control-block numbers a RAS poll would read off the real SeaStar.
+// Low-water marks start at the pool total and record the worst depletion;
+// high-water marks record the deepest queue.
+type Occupancy struct {
+	RxPendFree    int // rx pendings free now
+	RxPendTotal   int
+	RxPendLow     int // fewest rx pendings ever free
+	TxPendFree    int
+	TxPendTotal   int
+	TxPendLow     int
+	SourcesFree   int
+	SourcesTotal  int
+	SourcesLow    int
+	TxQueueDepth  int // serialized TX queue backlog now
+	TxQueueHigh   int
+	RxStreams     int // open receive streams now
+	RxStreamsHigh int
+	Unacked       int // go-back-n sends awaiting acknowledgment
+	EvQueueDepth  int // driver event queue backlog now
+	EvQueueHigh   int
+	SRAMUsed      int64
+}
+
+// NodeDump is one node's snapshot: occupancy plus the ring contents.
+type NodeDump struct {
+	Node    int
+	Occ     Occupancy
+	Dropped uint64 // ring events lost to wrap-around before the snapshot
+	Events  []Event
+}
+
+// Dump is one machine snapshot, taken on panic, ledger imbalance, stall
+// detection, or explicitly at end of run. Everything in it is derived from
+// virtual time and seeded state, so a same-seed rerun encodes to identical
+// bytes.
+type Dump struct {
+	// Reason is the human-readable trigger ("panic: ...", "stall: ...").
+	Reason string
+	// Trigger is the machine-readable trigger class: "panic", "ledger",
+	// "stall" or "snapshot".
+	Trigger string
+	// At is the virtual time of the snapshot.
+	At sim.Time
+	// Node is the triggering node, or -1 for machine-scoped triggers.
+	Node  int
+	Nodes []NodeDump
+}
+
+// dumpMagic leads every encoded dump.
+var dumpMagic = [8]byte{'P', '3', 'D', 'U', 'M', 'P', '0', '1'}
+
+type binWriter struct {
+	w   io.Writer
+	b   [8]byte
+	err error
+}
+
+func (bw *binWriter) u64(v uint64) {
+	if bw.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(bw.b[:], v)
+	_, bw.err = bw.w.Write(bw.b[:])
+}
+
+func (bw *binWriter) i64(v int64) { bw.u64(uint64(v)) }
+func (bw *binWriter) str(s string) {
+	bw.u64(uint64(len(s)))
+	if bw.err == nil {
+		_, bw.err = io.WriteString(bw.w, s)
+	}
+}
+
+type binReader struct {
+	r   io.Reader
+	b   [8]byte
+	err error
+}
+
+func (br *binReader) u64() uint64 {
+	if br.err != nil {
+		return 0
+	}
+	if _, br.err = io.ReadFull(br.r, br.b[:]); br.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(br.b[:])
+}
+
+func (br *binReader) i64() int64 { return int64(br.u64()) }
+
+func (br *binReader) str() string {
+	n := br.u64()
+	if br.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		br.err = fmt.Errorf("flightrec: implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, br.err = io.ReadFull(br.r, buf); br.err != nil {
+		return ""
+	}
+	return string(buf)
+}
+
+// occEncode writes an occupancy in the canonical field order; occDecode is
+// its inverse, field for field.
+func occEncode(bw *binWriter, o *Occupancy) {
+	for _, v := range []int64{
+		int64(o.RxPendFree), int64(o.RxPendTotal), int64(o.RxPendLow),
+		int64(o.TxPendFree), int64(o.TxPendTotal), int64(o.TxPendLow),
+		int64(o.SourcesFree), int64(o.SourcesTotal), int64(o.SourcesLow),
+		int64(o.TxQueueDepth), int64(o.TxQueueHigh),
+		int64(o.RxStreams), int64(o.RxStreamsHigh),
+		int64(o.Unacked),
+		int64(o.EvQueueDepth), int64(o.EvQueueHigh),
+		o.SRAMUsed,
+	} {
+		bw.i64(v)
+	}
+}
+
+func occDecode(br *binReader, o *Occupancy) {
+	ptrs := []*int{
+		&o.RxPendFree, &o.RxPendTotal, &o.RxPendLow,
+		&o.TxPendFree, &o.TxPendTotal, &o.TxPendLow,
+		&o.SourcesFree, &o.SourcesTotal, &o.SourcesLow,
+		&o.TxQueueDepth, &o.TxQueueHigh,
+		&o.RxStreams, &o.RxStreamsHigh,
+		&o.Unacked,
+		&o.EvQueueDepth, &o.EvQueueHigh,
+	}
+	for _, p := range ptrs {
+		*p = int(br.i64())
+	}
+	o.SRAMUsed = br.i64()
+}
+
+// Encode writes the dump in the deterministic binary format: fixed-width
+// little-endian fields, nodes in ascending id order (TakeDump builds them
+// that way), no host-time or pointer content anywhere.
+func (d *Dump) Encode(w io.Writer) error {
+	bw := &binWriter{w: w}
+	if _, err := w.Write(dumpMagic[:]); err != nil {
+		return err
+	}
+	bw.str(d.Reason)
+	bw.str(d.Trigger)
+	bw.i64(int64(d.At))
+	bw.i64(int64(d.Node))
+	bw.u64(uint64(len(d.Nodes)))
+	for i := range d.Nodes {
+		nd := &d.Nodes[i]
+		bw.i64(int64(nd.Node))
+		occEncode(bw, &nd.Occ)
+		bw.u64(nd.Dropped)
+		bw.u64(uint64(len(nd.Events)))
+		for _, e := range nd.Events {
+			bw.i64(int64(e.T))
+			bw.u64(e.Span)
+			bw.u64(uint64(e.A)<<32 | uint64(e.B))
+			bw.u64(uint64(e.Kind))
+		}
+	}
+	return bw.err
+}
+
+// Bytes encodes the dump into memory (determinism tests compare these).
+func (d *Dump) Bytes() []byte {
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return buf.Bytes()
+}
+
+// Decode reads a dump written by Encode.
+func Decode(r io.Reader) (*Dump, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != dumpMagic {
+		return nil, fmt.Errorf("flightrec: not a p3dump file (magic %q)", magic[:])
+	}
+	br := &binReader{r: r}
+	d := &Dump{}
+	d.Reason = br.str()
+	d.Trigger = br.str()
+	d.At = sim.Time(br.i64())
+	d.Node = int(br.i64())
+	nNodes := br.u64()
+	if br.err != nil {
+		return nil, br.err
+	}
+	if nNodes > 1<<20 {
+		return nil, fmt.Errorf("flightrec: implausible node count %d", nNodes)
+	}
+	d.Nodes = make([]NodeDump, nNodes)
+	for i := range d.Nodes {
+		nd := &d.Nodes[i]
+		nd.Node = int(br.i64())
+		occDecode(br, &nd.Occ)
+		nd.Dropped = br.u64()
+		nEv := br.u64()
+		if br.err != nil {
+			return nil, br.err
+		}
+		if nEv > 1<<28 {
+			return nil, fmt.Errorf("flightrec: implausible event count %d", nEv)
+		}
+		nd.Events = make([]Event, nEv)
+		for j := range nd.Events {
+			e := &nd.Events[j]
+			e.T = sim.Time(br.i64())
+			e.Span = br.u64()
+			ab := br.u64()
+			e.A = uint32(ab >> 32)
+			e.B = uint32(ab)
+			e.Kind = Kind(br.u64())
+		}
+	}
+	return d, br.err
+}
+
+// TimelineEvent is one dump event tagged with its node.
+type TimelineEvent struct {
+	Node int
+	Event
+}
+
+// Timeline merges every node's events into one time-ordered sequence.
+// Within a node the ring order is preserved (rings are recorded in
+// non-decreasing virtual time); cross-node ties break by node id, so the
+// result is deterministic.
+func (d *Dump) Timeline() []TimelineEvent {
+	var out []TimelineEvent
+	for _, nd := range d.Nodes {
+		for _, e := range nd.Events {
+			out = append(out, TimelineEvent{Node: nd.Node, Event: e})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return false // stable: keep node-then-ring order for ties
+	})
+	return out
+}
+
+// Span extracts one causal span's hop-by-hop timeline across all nodes.
+func (d *Dump) Span(span uint64) []TimelineEvent {
+	var out []TimelineEvent
+	for _, e := range d.Timeline() {
+		if e.Span == span {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Spans returns every nonzero span id present in the dump, sorted.
+func (d *Dump) Spans() []uint64 {
+	seen := make(map[uint64]bool)
+	for _, nd := range d.Nodes {
+		for _, e := range nd.Events {
+			if e.Span != 0 {
+				seen[e.Span] = true
+			}
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

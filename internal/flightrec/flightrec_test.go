@@ -1,0 +1,222 @@
+package flightrec
+
+import (
+	"bytes"
+	"testing"
+
+	"portals3/internal/sim"
+)
+
+func TestNilRingIsDisabled(t *testing.T) {
+	var r *Ring
+	if r.Enabled() {
+		t.Fatal("nil ring reports enabled")
+	}
+	r.Record(KTxHeader, 1, 2, 3, 4) // must not panic
+	if r.NewSpan() != 0 {
+		t.Fatal("nil ring minted a span")
+	}
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil ring holds events")
+	}
+}
+
+func TestRingRecordAndSpans(t *testing.T) {
+	rec := NewRecorder(8)
+	r := rec.Ring(3)
+	if s := r.NewSpan(); s != 1 {
+		t.Fatalf("first span = %d, want 1", s)
+	}
+	if s := rec.Ring(5).NewSpan(); s != 2 {
+		t.Fatalf("spans not machine-wide: second span = %d, want 2", s)
+	}
+	r.Record(KCmdDequeue, 10, 0, 7, 0)
+	r.Record(KTxHeader, 20, 1, 1, 64)
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 2, 0", r.Len(), r.Dropped())
+	}
+	ev := r.Events()
+	if ev[0].Kind != KCmdDequeue || ev[1].Kind != KTxHeader {
+		t.Fatalf("events out of order: %v", ev)
+	}
+	if got := []int{len(rec.Nodes()), rec.Nodes()[0], rec.Nodes()[1]}; got[0] != 2 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Nodes() = %v", rec.Nodes())
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	rec := NewRecorder(4)
+	r := rec.Ring(0)
+	for i := 0; i < 10; i++ {
+		r.Record(KEvPost, sim.Time(i), 0, uint32(i), 0)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if want := uint32(6 + i); e.A != want {
+			t.Fatalf("event %d: A = %d, want %d (oldest-first after wrap)", i, e.A, want)
+		}
+	}
+}
+
+func testDump() *Dump {
+	return &Dump{
+		Reason:  "stall: no forward progress",
+		Trigger: "stall",
+		At:      12345678,
+		Node:    1,
+		Nodes: []NodeDump{
+			{
+				Node: 0,
+				Occ: Occupancy{
+					RxPendFree: 3, RxPendTotal: 8, RxPendLow: 1,
+					TxPendFree: 8, TxPendTotal: 8, TxPendLow: 5,
+					SourcesFree: 60, SourcesTotal: 64, SourcesLow: 59,
+					TxQueueDepth: 2, TxQueueHigh: 6,
+					RxStreams: 1, RxStreamsHigh: 3,
+					Unacked: 4, EvQueueDepth: 0, EvQueueHigh: 2,
+					SRAMUsed: 1 << 16,
+				},
+				Dropped: 7,
+				Events: []Event{
+					{T: 100, Span: 1, A: 1, B: 64, Kind: KTxSerialize},
+					{T: 200, Span: 1, A: 1, B: 64, Kind: KTxHeader},
+					{T: 900, Span: 1, A: 1, B: 0, Kind: KGbnRewind},
+				},
+			},
+			{
+				Node: 1,
+				Events: []Event{
+					{T: 300, Span: 1, A: 1, B: 64, Kind: KRxHeader},
+					{T: 400, Span: 0, A: 2, B: 0, Kind: KGbnAckTx},
+					{T: 950, Span: 1, A: 1, B: 0, Kind: KRxDone},
+				},
+			},
+		},
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	d := testDump()
+	b := d.Bytes()
+	got, err := Decode(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Reason != d.Reason || got.Trigger != d.Trigger || got.At != d.At || got.Node != d.Node {
+		t.Fatalf("header mismatch: %+v vs %+v", got, d)
+	}
+	if len(got.Nodes) != len(d.Nodes) {
+		t.Fatalf("node count %d, want %d", len(got.Nodes), len(d.Nodes))
+	}
+	for i := range d.Nodes {
+		w, g := d.Nodes[i], got.Nodes[i]
+		if g.Node != w.Node || g.Occ != w.Occ || g.Dropped != w.Dropped {
+			t.Fatalf("node %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+		if len(g.Events) != len(w.Events) {
+			t.Fatalf("node %d event count %d, want %d", i, len(g.Events), len(w.Events))
+		}
+		for j := range w.Events {
+			if g.Events[j] != w.Events[j] {
+				t.Fatalf("node %d event %d: %+v, want %+v", i, j, g.Events[j], w.Events[j])
+			}
+		}
+	}
+	// Re-encoding the decoded dump must be byte-identical — the determinism
+	// the same-seed-rerun contract builds on.
+	if !bytes.Equal(got.Bytes(), b) {
+		t.Fatal("re-encoded dump differs from original bytes")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("NOTADUMP........"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTimelineMergesAndOrders(t *testing.T) {
+	d := testDump()
+	tl := d.Timeline()
+	if len(tl) != 6 {
+		t.Fatalf("timeline has %d events, want 6", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].T < tl[i-1].T {
+			t.Fatalf("timeline out of order at %d: %v after %v", i, tl[i].T, tl[i-1].T)
+		}
+	}
+	// The cross-node hop chain of span 1: serialize and header on node 0,
+	// rx-header on node 1, then the rewind and the delivery.
+	span := d.Span(1)
+	wantKinds := []Kind{KTxSerialize, KTxHeader, KRxHeader, KGbnRewind, KRxDone}
+	if len(span) != len(wantKinds) {
+		t.Fatalf("span 1 has %d events, want %d", len(span), len(wantKinds))
+	}
+	for i, e := range span {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("span 1 event %d = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+	}
+	if sp := d.Spans(); len(sp) != 1 || sp[0] != 1 {
+		t.Fatalf("Spans() = %v, want [1]", sp)
+	}
+}
+
+func TestKindNamesCoverAllKinds(t *testing.T) {
+	if len(kindNames) != int(kindCount) {
+		t.Fatalf("kindNames has %d entries, want %d", len(kindNames), int(kindCount))
+	}
+	for k := KNone; k < kindCount; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+func TestRenderTextMentionsTrigger(t *testing.T) {
+	var buf bytes.Buffer
+	testDump().RenderText(&buf)
+	out := buf.String()
+	for _, want := range []string{"trigger stall", "node 1", "tx-serialize", "rx-done", "7 older events lost"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("RenderText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeEmitsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testDump().WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	for _, want := range []string{`"flightrec"`, `"span 1"`, "tx-serialize"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRecordIsAllocationFree(t *testing.T) {
+	rec := NewRecorder(64)
+	r := rec.Ring(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(KChunkTx, 5, 9, 4096, 512)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", allocs)
+	}
+	var nilRing *Ring
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilRing.Record(KChunkTx, 5, 9, 4096, 512)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Record allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,108 @@
+package flightrec
+
+import (
+	"fmt"
+	"io"
+
+	"portals3/internal/sim"
+	"portals3/internal/trace"
+)
+
+// RenderText writes the dump as a human-readable report: the trigger, each
+// node's occupancy watermarks, and the merged cross-node event timeline.
+func (d *Dump) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "p3dump: %s at %v (trigger %s", d.Reason, d.At, d.Trigger)
+	if d.Node >= 0 {
+		fmt.Fprintf(w, ", node %d", d.Node)
+	}
+	fmt.Fprintf(w, ")\n\n")
+
+	fmt.Fprintf(w, "firmware occupancy (pools: free/total, lo = low-water; queues: depth, hi = high-water)\n")
+	fmt.Fprintf(w, "%6s %17s %17s %15s %9s %13s %8s %9s %10s\n",
+		"node", "rx-pend", "tx-pend", "sources", "txq", "rx-streams", "unacked", "evq", "sram-used")
+	for i := range d.Nodes {
+		nd := &d.Nodes[i]
+		o := &nd.Occ
+		fmt.Fprintf(w, "%6d %17s %17s %15s %9s %13s %8d %9s %10d\n",
+			nd.Node,
+			fmt.Sprintf("%d/%d lo %d", o.RxPendFree, o.RxPendTotal, o.RxPendLow),
+			fmt.Sprintf("%d/%d lo %d", o.TxPendFree, o.TxPendTotal, o.TxPendLow),
+			fmt.Sprintf("%d/%d lo %d", o.SourcesFree, o.SourcesTotal, o.SourcesLow),
+			fmt.Sprintf("%d hi %d", o.TxQueueDepth, o.TxQueueHigh),
+			fmt.Sprintf("%d hi %d", o.RxStreams, o.RxStreamsHigh),
+			o.Unacked,
+			fmt.Sprintf("%d hi %d", o.EvQueueDepth, o.EvQueueHigh),
+			o.SRAMUsed)
+	}
+
+	fmt.Fprintf(w, "\ntimeline (%d events", len(d.Timeline()))
+	var dropped uint64
+	for i := range d.Nodes {
+		dropped += d.Nodes[i].Dropped
+	}
+	if dropped > 0 {
+		fmt.Fprintf(w, ", %d older events lost to ring wrap", dropped)
+	}
+	fmt.Fprintf(w, ")\n")
+	d.renderEvents(w, d.Timeline())
+}
+
+// RenderSpan writes one causal span's hop-by-hop timeline.
+func (d *Dump) RenderSpan(w io.Writer, span uint64) {
+	tl := d.Span(span)
+	fmt.Fprintf(w, "span %d (%d events)\n", span, len(tl))
+	d.renderEvents(w, tl)
+}
+
+func (d *Dump) renderEvents(w io.Writer, tl []TimelineEvent) {
+	fmt.Fprintf(w, "%14s %5s %6s %-13s %s\n", "time", "node", "span", "event", "args")
+	for _, e := range tl {
+		span := "-"
+		if e.Span != 0 {
+			span = fmt.Sprintf("%d", e.Span)
+		}
+		fmt.Fprintf(w, "%13.3fus %5d %6s %-13s %s\n",
+			e.T.Micros(), e.Node, span, e.Kind.String(), e.ArgString())
+	}
+}
+
+// WriteChrome converts the dump to a Chrome trace-event timeline through
+// the machine's trace writer: every ring event becomes an instant on the
+// flight-recorder track, and every (span, node) pair a covering span so a
+// message's hop path reads as nested bars per node in Perfetto.
+func (d *Dump) WriteChrome(w io.Writer) error {
+	t := trace.New()
+	type key struct {
+		span uint64
+		node int
+	}
+	first := make(map[key]sim.Time)
+	last := make(map[key]sim.Time)
+	tl := d.Timeline()
+	for _, e := range tl {
+		args := map[string]interface{}{"args": e.ArgString()}
+		if e.Span != 0 {
+			args["span"] = e.Span
+			k := key{e.Span, e.Node}
+			if _, ok := first[k]; !ok {
+				first[k] = e.T
+			}
+			last[k] = e.T
+		}
+		t.Instant(e.Node, trace.TrackFlight, "flightrec", e.Kind.String(), e.T, args)
+	}
+	// Emit the covering spans in deterministic (span, node) order.
+	for _, span := range d.Spans() {
+		for i := range d.Nodes {
+			k := key{span, d.Nodes[i].Node}
+			start, ok := first[k]
+			if !ok {
+				continue
+			}
+			t.Span(k.node, trace.TrackFlight, "flightrec",
+				fmt.Sprintf("span %d", span), start, last[k]-start,
+				map[string]interface{}{"span": span})
+		}
+	}
+	return t.WriteChrome(w)
+}

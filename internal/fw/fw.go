@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"portals3/internal/fabric"
+	"portals3/internal/flightrec"
 	"portals3/internal/model"
 	"portals3/internal/seastar"
 	"portals3/internal/sim"
@@ -74,6 +75,18 @@ type Event struct {
 	OK      bool     // data integrity: end-to-end CRC verdict
 }
 
+// Span returns the flight-recorder causal span id of the message behind
+// this event (zero when the recorder is off or no message is attached).
+func (ev Event) Span() uint64 {
+	if ev.Pending != nil && ev.Pending.msg != nil {
+		return ev.Pending.msg.Span
+	}
+	if ev.Tx != nil {
+		return ev.Tx.Span
+	}
+	return 0
+}
+
 // Process is one firmware-level process (§4.2): the generic Portals
 // implementation in the OS kernel, or one accelerated application. Each has
 // its own mailbox and pending pools.
@@ -95,6 +108,8 @@ type Process struct {
 	txFree   []*Pending
 	rxTotal  int
 	txTotal  int
+	rxLow    int // fewest rx pendings ever free (occupancy low-water)
+	txLow    int // fewest tx pendings ever free
 	cmdSlots *sim.Credits
 }
 
@@ -165,6 +180,11 @@ type TxReq struct {
 	// there; a retransmission therefore carries no record.
 	Rec *telemetry.MsgRec
 
+	// Span is the flight-recorder causal span id, minted at SubmitTx and
+	// copied onto every fabric message this request injects — including
+	// go-back-n retransmissions, which therefore share the original's span.
+	Span uint64
+
 	pending  *Pending
 	job      *txJob // per-message stage carrier, recycled at header injection
 	ctrl     bool   // NIC-level flow control frame, no pending, no host data
@@ -231,6 +251,7 @@ type Stats struct {
 	Discards     uint64
 	GbnTimeouts  uint64 // go-back-n timer expiries that triggered a resend
 	DupAcks      uint64 // duplicate data messages re-acked and discarded
+	Completions  uint64 // transmit requests finished (acked or completed)
 }
 
 // ExhaustPolicy selects the firmware's response to resource exhaustion.
@@ -257,6 +278,9 @@ type NIC struct {
 	Policy ExhaustPolicy
 	// Trace, when non-nil, records firmware handler spans.
 	Trace *trace.Tracer
+	// FR, when non-nil, is this node's flight-recorder ring; nil-safe like
+	// Trace, so record sites pay one pointer test when disabled.
+	FR *flightrec.Ring
 	// OnPanic is invoked for ExhaustPanic; the default panics the Go
 	// process, the machine layer substitutes a node-failure handler.
 	OnPanic func(reason string)
@@ -266,16 +290,19 @@ type NIC struct {
 
 	sources    map[topo.NodeID]*source
 	sourceFree int
+	srcLow     int // fewest sources ever free (occupancy low-water)
 
 	txq     []*TxReq // pending transmits; txqHead indexes the next one
 	txqHead int
+	txqHigh int // deepest TX queue backlog (occupancy high-water)
 	txBusy  bool
 
 	// early holds chunks that arrive before the header handler has
 	// allocated a pending (hardware demultiplexes; the PowerPC is still
 	// busy), and streams condemned to discard.
-	streams map[uint64]*Pending
-	dead    map[uint64]int // msgID -> payload bytes still expected, discard
+	streams     map[uint64]*Pending
+	streamsHigh int            // most receive streams ever open
+	dead        map[uint64]int // msgID -> payload bytes still expected, discard
 
 	killed bool
 
@@ -319,6 +346,7 @@ func New(s *sim.Sim, p *model.Params, chip *seastar.Chip, fab *fabric.Fabric, no
 		accel:      make(map[uint32]*Process),
 		sources:    make(map[topo.NodeID]*source),
 		sourceFree: p.NumSources,
+		srcLow:     p.NumSources,
 		streams:    make(map[uint64]*Pending),
 		dead:       make(map[uint64]int),
 	}
@@ -388,6 +416,8 @@ func (n *NIC) newProcess(pid uint32, accel bool, pendings int, handle func(Event
 		Handle:   handle,
 		rxTotal:  pendings / 2,
 		txTotal:  pendings - pendings/2,
+		rxLow:    pendings / 2,
+		txLow:    pendings - pendings/2,
 		cmdSlots: sim.NewCredits(n.S, name+".cmdfifo", mailboxSlots),
 	}
 	for i := 0; i < p.rxTotal; i++ {
@@ -434,12 +464,17 @@ func (n *NIC) exec(name string, cycles int64, fn func()) {
 // the global pool is exhausted.
 func (n *NIC) allocSource(nid topo.NodeID) *source {
 	if s, ok := n.sources[nid]; ok {
+		n.FR.Record(flightrec.KSrcHit, n.S.Now(), 0, uint32(n.sourceFree), 0)
 		return s
 	}
 	if n.sourceFree == 0 {
 		return nil
 	}
 	n.sourceFree--
+	if n.sourceFree < n.srcLow {
+		n.srcLow = n.sourceFree
+	}
+	n.FR.Record(flightrec.KSrcAlloc, n.S.Now(), 0, uint32(n.sourceFree), 0)
 	s := &source{nid: nid}
 	n.sources[nid] = s
 	return s
@@ -452,6 +487,9 @@ func (n *NIC) allocSource(nid topo.NodeID) *source {
 // no interrupt involved).
 func (n *NIC) postEvent(p *Process, ev Event) {
 	n.Stats.EventsPosted++
+	if n.FR != nil {
+		n.FR.Record(flightrec.KEvPost, n.S.Now(), ev.Span(), uint32(ev.Kind), 0)
+	}
 	j := n.getEvPost()
 	j.p = p
 	j.ev = ev
@@ -520,15 +558,76 @@ func (j *evPost) runRxDone() {
 
 // exhaust applies the exhaustion policy for an unservable incoming message.
 // It reports whether the message stream was consumed (true for go-back-n,
-// which discards and NACKs; false means the node is gone).
-func (n *NIC) exhaust(m *fabric.Message, what string) bool {
+// which discards and NACKs; false means the node is gone). code is the
+// flight-recorder exhaustion code matching what.
+func (n *NIC) exhaust(m *fabric.Message, what string, code uint32) bool {
 	n.Stats.Exhaustions++
+	if n.FR != nil {
+		n.FR.Record(flightrec.KExhaust, n.S.Now(), m.Span, code, 0)
+	}
 	if n.Policy == ExhaustGoBackN {
 		n.nackAndDiscard(m)
 		return true
 	}
 	n.OnPanic("resource exhaustion: " + what)
 	return false
+}
+
+// noteTxq updates the TX queue's backlog high-water mark; call after any
+// append or insert.
+func (n *NIC) noteTxq() {
+	if d := len(n.txq) - n.txqHead; d > n.txqHigh {
+		n.txqHigh = d
+	}
+}
+
+// noteStreams updates the open-receive-streams high-water mark.
+func (n *NIC) noteStreams() {
+	if len(n.streams) > n.streamsHigh {
+		n.streamsHigh = len(n.streams)
+	}
+}
+
+// Occupancy snapshots the firmware's resource watermarks — the pool frees,
+// low-water marks and queue depths a dump records per node. The event-queue
+// fields belong to the host driver; the machine layer fills them in.
+func (n *NIC) Occupancy() flightrec.Occupancy {
+	o := flightrec.Occupancy{
+		SourcesFree:   n.sourceFree,
+		SourcesTotal:  n.P.NumSources,
+		SourcesLow:    n.srcLow,
+		TxQueueDepth:  len(n.txq) - n.txqHead,
+		TxQueueHigh:   n.txqHigh,
+		RxStreams:     len(n.streams),
+		RxStreamsHigh: n.streamsHigh,
+		SRAMUsed:      n.Chip.SRAM.Used(),
+	}
+	if p := n.generic; p != nil {
+		o.RxPendFree, o.RxPendTotal, o.RxPendLow = len(p.rxFree), p.rxTotal, p.rxLow
+		o.TxPendFree, o.TxPendTotal, o.TxPendLow = len(p.txFree), p.txTotal, p.txLow
+	}
+	for _, s := range n.sources {
+		o.Unacked += len(s.unacked)
+	}
+	return o
+}
+
+// OpenWork counts the node's in-flight obligations: queued transmits, open
+// receive streams and unacknowledged go-back-n sends. The stall detector
+// pairs it with Progress — open work with no progress is a stalled flow.
+func (n *NIC) OpenWork() int {
+	open := len(n.txq) - n.txqHead + len(n.streams)
+	for _, s := range n.sources {
+		open += len(s.unacked)
+	}
+	return open
+}
+
+// Progress is the node's forward-progress counter: completions, accepted
+// headers and posted events. Retransmit attempts deliberately do not count —
+// a sender spinning on its go-back-n timer is not making progress.
+func (n *NIC) Progress() uint64 {
+	return n.Stats.Completions + n.Stats.HeadersRx + n.Stats.EventsPosted
 }
 
 // RxWindow implements fabric.Endpoint: the chip's bounded receive FIFO.

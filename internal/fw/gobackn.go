@@ -2,6 +2,7 @@ package fw
 
 import (
 	"portals3/internal/fabric"
+	"portals3/internal/flightrec"
 	"portals3/internal/topo"
 	"portals3/internal/wire"
 )
@@ -144,6 +145,13 @@ func (n *NIC) gbnHoldCompletion(req *TxReq) {
 // source pool — control frames causing the very exhaustion the protocol
 // exists to resolve.
 func (n *NIC) handleFlowControl(m *fabric.Message) {
+	if n.FR != nil {
+		k := flightrec.KGbnAckRx
+		if m.Hdr.Type == wire.TypeFcNack {
+			k = flightrec.KGbnNackRx
+		}
+		n.FR.Record(k, n.S.Now(), 0, m.Hdr.Offset, 0)
+	}
 	src := n.sources[topo.NodeID(m.Hdr.SrcNid)]
 	if src == nil {
 		return // no state, nothing to release or rewind
@@ -189,12 +197,18 @@ func (n *NIC) gbnRequeue(resend []*TxReq) {
 		return
 	}
 	n.Stats.Retransmits += uint64(len(resend))
+	if n.FR != nil {
+		for _, req := range resend {
+			n.FR.Record(flightrec.KGbnRewind, n.S.Now(), req.Span, req.seq, 0)
+		}
+	}
 	insert := n.txqHead
 	if n.txBusy {
 		insert++
 	}
 	rest := append([]*TxReq(nil), n.txq[insert:]...)
 	n.txq = append(n.txq[:insert], append(resend, rest...)...)
+	n.noteTxq()
 	n.pumpTx()
 }
 
@@ -218,6 +232,9 @@ func (n *NIC) gbnArmTimer(src *source) {
 		n.Stats.GbnTimeouts++
 		resend := append([]*TxReq(nil), src.unacked...)
 		src.unacked = src.unacked[:0]
+		if n.FR != nil {
+			n.FR.Record(flightrec.KGbnTimeout, n.S.Now(), 0, uint32(len(resend)), 0)
+		}
 		n.gbnRequeue(resend)
 		n.gbnArmTimer(src)
 	})

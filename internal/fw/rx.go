@@ -4,6 +4,7 @@ import (
 	"hash/crc32"
 
 	"portals3/internal/fabric"
+	"portals3/internal/flightrec"
 	"portals3/internal/sim"
 	"portals3/internal/telemetry"
 	"portals3/internal/topo"
@@ -80,6 +81,7 @@ func (n *NIC) HeaderArrived(m *fabric.Message) {
 	}
 	if m.PayloadLen > 0 {
 		n.streams[m.ID] = n.getStub(m)
+		n.noteStreams()
 	}
 	j := n.getHdrJob()
 	j.m = m
@@ -103,7 +105,7 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 
 	src := n.allocSource(topo.NodeID(m.Hdr.SrcNid))
 	if src == nil {
-		if n.exhaust(m, "source pool empty") {
+		if n.exhaust(m, "source pool empty", flightrec.ExhaustSources) {
 			n.Chip.RxFIFO.Put(hdrCredits)
 		}
 		return
@@ -123,14 +125,19 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 		return
 	}
 	if len(proc.rxFree) == 0 {
-		if n.exhaust(m, "rx pending pool empty") {
+		if n.exhaust(m, "rx pending pool empty", flightrec.ExhaustRxPending) {
 			n.Chip.RxFIFO.Put(hdrCredits)
 		}
 		return
 	}
 	p := proc.rxFree[len(proc.rxFree)-1]
 	proc.rxFree = proc.rxFree[:len(proc.rxFree)-1]
+	if len(proc.rxFree) < proc.rxLow {
+		proc.rxLow = len(proc.rxFree)
+	}
+	n.FR.Record(flightrec.KPendAlloc, n.S.Now(), m.Span, uint32(len(proc.rxFree)), 0)
 	n.gbnAdvance(src, m)
+	n.FR.Record(flightrec.KRxHeader, n.S.Now(), m.Span, m.FwSeq, uint32(m.PayloadLen))
 	p.reset()
 	p.proc = proc
 	p.msg = m
@@ -146,6 +153,7 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 	}
 	if m.PayloadLen > 0 {
 		n.streams[m.ID] = p
+		n.noteStreams()
 	}
 
 	if m.PayloadLen == 0 {
@@ -156,11 +164,19 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 		ok := p.crc == m.CRC
 		if !ok {
 			n.Stats.CrcFails++
+			n.FR.Record(flightrec.KCrcFail, n.S.Now(), m.Span, m.FwSeq, 0)
 		}
 		if len(m.Inline) > 0 {
 			n.Stats.InlineRx++
 		}
 		n.gbnDataReceived(p, ok)
+		if n.FR != nil {
+			okA := uint32(0)
+			if ok {
+				okA = 1
+			}
+			n.FR.Record(flightrec.KRxDone, n.S.Now(), m.Span, okA, 0)
+		}
 		ev := Event{Kind: EvNewHeader, Pending: p, OK: ok}
 		if proc.Accel {
 			n.Chip.RxFIFO.Put(hdrCredits)
@@ -168,6 +184,9 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 			return
 		}
 		n.Stats.EventsPosted++
+		if n.FR != nil {
+			n.FR.Record(flightrec.KEvPost, n.S.Now(), m.Span, uint32(EvNewHeader), 0)
+		}
 		// Header and completion push to the host begins: the event-post
 		// attribution boundary for messages that fit the header packet.
 		m.Rec.Stamp(telemetry.StampEvPost, n.S.Now())
@@ -189,6 +208,9 @@ func (n *NIC) handleHeader(m *fabric.Message) {
 		return
 	}
 	n.Stats.EventsPosted++
+	if n.FR != nil {
+		n.FR.Record(flightrec.KEvPost, n.S.Now(), m.Span, uint32(EvNewHeader), 0)
+	}
 	j := n.getEvPost()
 	j.p = proc
 	j.ev = ev
@@ -239,6 +261,9 @@ func (n *NIC) ChunkArrived(c *fabric.Chunk) {
 		panic("fw: chunk for unknown stream")
 	}
 	p.arrived += len(c.Data)
+	if n.FR != nil {
+		n.FR.Record(flightrec.KChunkRx, n.S.Now(), c.Msg.Span, uint32(c.Off), uint32(len(c.Data)))
+	}
 	if p.programmed || p.discardAll {
 		n.consumeChunk(p, c)
 		return
@@ -329,8 +354,16 @@ func (n *NIC) checkRxComplete(p *Pending) {
 	ok := p.crc == p.msg.CRC
 	if !ok {
 		n.Stats.CrcFails++
+		n.FR.Record(flightrec.KCrcFail, n.S.Now(), p.msg.Span, p.msg.FwSeq, 0)
 	}
 	n.gbnDataReceived(p, ok)
+	if n.FR != nil {
+		okA := uint32(0)
+		if ok {
+			okA = 1
+		}
+		n.FR.Record(flightrec.KRxDone, n.S.Now(), p.msg.Span, okA, 0)
+	}
 	j := n.getEvPost()
 	j.p = p.proc
 	j.ev = Event{Kind: EvRxDone, Pending: p, OK: ok}
@@ -459,6 +492,14 @@ func (n *NIC) freeRx(p *Pending) {
 	}
 	p.released = true
 	proc := p.proc
+	if n.FR != nil {
+		// Both exits below return exactly one pending to the pool.
+		var span uint64
+		if p.msg != nil {
+			span = p.msg.Span
+		}
+		n.FR.Record(flightrec.KPendFree, n.S.Now(), span, uint32(len(proc.rxFree)+1), 0)
+	}
 	if p.msg != nil && p.consumed < p.msg.PayloadLen {
 		proc.rxFree = append(proc.rxFree, &Pending{proc: proc})
 		return
@@ -550,7 +591,11 @@ func (j *cmdJob) post() {
 func (j *cmdJob) run() {
 	p, h := j.p, j.handler
 	j.p, j.handler = nil, nil
-	p.nic.cmdFree = append(p.nic.cmdFree, j)
+	n := p.nic
+	n.cmdFree = append(n.cmdFree, j)
+	if n.FR != nil {
+		n.FR.Record(flightrec.KCmdDequeue, n.S.Now(), 0, uint32(p.ID), 0)
+	}
 	p.cmdSlots.Put(1)
 	h()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"hash/crc32"
 
+	"portals3/internal/flightrec"
 	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/wire"
@@ -39,6 +40,14 @@ func (n *NIC) SubmitTx(req *TxReq) error {
 	}
 	p := proc.txFree[len(proc.txFree)-1]
 	proc.txFree = proc.txFree[:len(proc.txFree)-1]
+	if len(proc.txFree) < proc.txLow {
+		proc.txLow = len(proc.txFree)
+	}
+	// The causal span is minted here, at the top of the transmit path, and
+	// copied onto every fabric message built from this request — including
+	// go-back-n retransmissions — so one span traces the message end to end.
+	req.Span = n.FR.NewSpan()
+	n.FR.Record(flightrec.KPendAlloc, n.S.Now(), req.Span, uint32(len(proc.txFree)), 1)
 	p.req = req
 	req.pending = p
 	j := n.getTxJob()
@@ -83,11 +92,14 @@ func (j *txJob) submit() {
 		// TX-side source exhaustion cannot be NACKed away — the
 		// pool is local. It is always a sizing failure.
 		n.Stats.Exhaustions++
+		n.FR.Record(flightrec.KExhaust, n.S.Now(), req.Span, flightrec.ExhaustTxSource, 0)
 		n.OnPanic("tx source pool empty")
 		return
 	}
 	n.gbnAssignSeq(src, req)
 	n.txq = append(n.txq, req)
+	n.noteTxq()
+	n.FR.Record(flightrec.KTxSerialize, n.S.Now(), req.Span, req.seq, uint32(req.Len))
 	n.pumpTx()
 }
 
@@ -131,6 +143,14 @@ func (n *NIC) sendControl(dst topo.NodeID, typ wire.MsgType, seq uint32) {
 		Offset: seq,
 	}
 	n.txq = append(n.txq, &TxReq{Hdr: hdr, ctrl: true})
+	n.noteTxq()
+	if n.FR != nil {
+		k := flightrec.KGbnAckTx
+		if typ == wire.TypeFcNack {
+			k = flightrec.KGbnNackTx
+		}
+		n.FR.Record(k, n.S.Now(), 0, seq, 0)
+	}
 	n.pumpTx()
 }
 
@@ -179,10 +199,14 @@ func (n *NIC) txHeaderReady(req *TxReq, inline []byte) {
 	// builds a fresh message for a retransmission of the same request.
 	m.Rec = req.Rec
 	req.Rec = nil
+	// The span, by contrast, is copied: a retransmission builds a fresh
+	// message from the retained request and must carry the same span.
+	m.Span = req.Span
 	req.msg = m
 	m.Hdr.Encode(n.hdrScratch[:])
 	req.crc = crc32.ChecksumIEEE(n.hdrScratch[:])
 	req.crc = crc32.Update(req.crc, crc32.IEEETable, m.Inline)
+	n.FR.Record(flightrec.KTxHeader, n.S.Now(), req.Span, req.seq, uint32(payloadLen))
 	if payloadLen == 0 {
 		m.SetCRC(req.crc)
 		d := n.getTxDone()
@@ -320,6 +344,9 @@ func (t *txChunk) read() {
 // itself lives on until the receiver consumes it).
 func (t *txChunk) injected() {
 	n, req, sz, last := t.n, t.req, t.sz, t.last
+	if n.FR != nil {
+		n.FR.Record(flightrec.KChunkTx, n.S.Now(), req.Span, uint32(t.off), uint32(sz))
+	}
 	t.req = nil
 	n.txcFree = append(n.txcFree, t)
 	n.Chip.TxFIFO.Put(int64(sz))
@@ -346,7 +373,11 @@ func (n *NIC) finishTx(req *TxReq, ok bool) {
 		p.req = nil
 		proc.txFree = append(proc.txFree, p)
 		req.pending = nil
+		if n.FR != nil {
+			n.FR.Record(flightrec.KPendFree, n.S.Now(), req.Span, uint32(len(proc.txFree)), 1)
+		}
 	}
+	n.Stats.Completions++
 	ev := Event{Kind: EvTxDone, Tx: req, OK: ok}
 	if proc.Accel {
 		proc.Handle(ev)

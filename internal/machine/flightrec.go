@@ -1,0 +1,247 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"portals3/internal/flightrec"
+	"portals3/internal/sim"
+	"portals3/internal/topo"
+)
+
+// This file is the machine's forensics loop: the flight recorder wiring,
+// the single failure funnel every detector reports through, the stall
+// detector, and the dump snapshotting that turns a failure into a
+// post-mortem artifact (rendered by cmd/p3dump).
+
+// FailureKind classifies a FailureReport.
+type FailureKind int
+
+// Failure kinds.
+const (
+	// FailurePanic is a node firmware panic (resource exhaustion under the
+	// panic policy, or an explicit OnPanic).
+	FailurePanic FailureKind = iota
+	// FailureStall is the stall detector firing: a node held open work with
+	// no forward progress for a full detection window.
+	FailureStall
+	// FailureLedger is a fault-ledger imbalance at quiescence: an injected
+	// fault was neither recovered nor condemned, so a message vanished.
+	FailureLedger
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailurePanic:
+		return "panic"
+	case FailureStall:
+		return "stall"
+	case FailureLedger:
+		return "ledger"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// FailureReport is the single funnel for machine-detected failures. Node
+// panics, stall detections and ledger imbalances all land here; when the
+// flight recorder is on, each report carries a dump snapshotted at
+// detection time.
+type FailureReport struct {
+	Kind   FailureKind
+	Node   topo.NodeID // -1 for machine-scoped failures (ledger)
+	Reason string
+	At     sim.Time
+	// Dump is the machine snapshot taken at detection; nil when the flight
+	// recorder is off.
+	Dump *flightrec.Dump
+}
+
+func (r FailureReport) String() string {
+	if r.Node < 0 {
+		return fmt.Sprintf("%s at %v: %s", r.Kind, r.At, r.Reason)
+	}
+	return fmt.Sprintf("%s on node %d at %v: %s", r.Kind, r.Node, r.At, r.Reason)
+}
+
+// Reports returns every failure the machine has detected, in detection
+// order.
+func (m *Machine) Reports() []FailureReport {
+	return append([]FailureReport(nil), m.reports...)
+}
+
+// reportFailure is the funnel: record the report and, when the flight
+// recorder is running, attach a full machine dump.
+func (m *Machine) reportFailure(kind FailureKind, node topo.NodeID, reason string) {
+	r := FailureReport{Kind: kind, Node: node, Reason: reason, At: m.S.Now()}
+	if m.rec != nil {
+		r.Dump = m.takeDump(reason, kind.String(), int(node))
+	}
+	m.reports = append(m.reports, r)
+}
+
+// EnableFlightRecorder starts per-node flight recording, with ringEvents
+// events retained per node (flightrec.DefaultRingEvents when <= 0), and
+// returns the recorder. Existing and subsequently built nodes are wired.
+// Like tracing and telemetry, enable it before spawning processes; a
+// machine without it pays one pointer test per record site.
+func (m *Machine) EnableFlightRecorder(ringEvents int) *flightrec.Recorder {
+	if m.rec == nil {
+		m.rec = flightrec.NewRecorder(ringEvents)
+		for _, n := range m.nodes {
+			m.wireFlightRec(n)
+		}
+	}
+	return m.rec
+}
+
+// FlightRecorder returns the machine's recorder (nil unless enabled).
+func (m *Machine) FlightRecorder() *flightrec.Recorder { return m.rec }
+
+// wireFlightRec points one node's components at its ring.
+func (m *Machine) wireFlightRec(n *Node) {
+	r := m.rec.Ring(int(n.ID))
+	n.NIC.FR = r
+	n.Generic.FR = r
+}
+
+// TakeDump snapshots every instantiated node's flight-recorder ring and
+// occupancy watermarks into a dump with the "snapshot" trigger — the
+// end-of-run artifact. Returns nil when the recorder is off.
+func (m *Machine) TakeDump(reason string) *flightrec.Dump {
+	return m.takeDump(reason, "snapshot", -1)
+}
+
+func (m *Machine) takeDump(reason, trigger string, node int) *flightrec.Dump {
+	if m.rec == nil {
+		return nil
+	}
+	d := &flightrec.Dump{Reason: reason, Trigger: trigger, At: m.S.Now(), Node: node}
+	ids := make([]topo.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		occ := n.NIC.Occupancy()
+		occ.EvQueueDepth = n.Generic.EvQueueDepth()
+		occ.EvQueueHigh = n.Generic.EvQueueHigh()
+		ring := m.rec.Ring(int(id))
+		d.Nodes = append(d.Nodes, flightrec.NodeDump{
+			Node:    int(id),
+			Occ:     occ,
+			Dropped: ring.Dropped(),
+			Events:  ring.Events(),
+		})
+	}
+	return d
+}
+
+// checkLedger audits the fault plane at quiescence: every injected fault
+// must have been recovered or condemned. An imbalance means a message
+// vanished without an owner — it files a (single) FailureLedger report
+// rather than panicking, so the run's dumps and telemetry survive for the
+// post-mortem.
+func (m *Machine) checkLedger() {
+	if m.ledgerReported {
+		return
+	}
+	st, ok := m.Fab.FaultSnapshot()
+	if !ok || st.Open() == 0 {
+		return
+	}
+	m.ledgerReported = true
+	m.reportFailure(FailureLedger, -1,
+		fmt.Sprintf("fault ledger imbalance at quiescence: %d open (%s)", st.Open(), st))
+}
+
+// StallDetector watches every instantiated node for open work with no
+// forward progress across a virtual-time window — the failure mode panics
+// and ledgers cannot catch: nothing crashed, nothing vanished, the machine
+// is simply stuck (a lost flow-control frame with no timer, a requeue that
+// never pumps). It fires once per stall episode per node; progress re-arms
+// it.
+type StallDetector struct {
+	m      *Machine
+	window sim.Time
+	halted bool
+
+	lastProg map[topo.NodeID]uint64   // progress counter at the last tick
+	lastMove map[topo.NodeID]sim.Time // when progress last advanced
+	tripped  map[topo.NodeID]bool     // already reported this episode
+
+	// Stalls counts detections, for tests and reports.
+	Stalls int
+}
+
+// Stop halts the detector after the current tick.
+func (sd *StallDetector) Stop() { sd.halted = true }
+
+// StartStallDetector begins stall watching with the given detection window:
+// a node holding open work (queued transmits, open receive streams, unacked
+// go-back-n sends, undrained driver events) whose progress counter does not
+// advance for a full window is reported as stalled, with a dump. Ticks run
+// every window/4 and self-terminate with the event heap, like the sampler,
+// so Machine.Run still returns.
+func (m *Machine) StartStallDetector(window sim.Time) *StallDetector {
+	if m.stall != nil {
+		return m.stall
+	}
+	sd := &StallDetector{
+		m:        m,
+		window:   window,
+		lastProg: make(map[topo.NodeID]uint64),
+		lastMove: make(map[topo.NodeID]sim.Time),
+		tripped:  make(map[topo.NodeID]bool),
+	}
+	m.stall = sd
+	period := window / 4
+	if period <= 0 {
+		period = 1
+	}
+	var tick func()
+	tick = func() {
+		if sd.halted {
+			return
+		}
+		sd.check()
+		if m.S.Pending() > 0 {
+			m.S.After(period, tick)
+		}
+	}
+	m.S.After(period, tick)
+	return sd
+}
+
+// check examines every node once.
+func (sd *StallDetector) check() {
+	m := sd.m
+	now := m.S.Now()
+	ids := make([]topo.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		prog := n.NIC.Progress()
+		last, seen := sd.lastProg[id]
+		if !seen || prog != last {
+			sd.lastProg[id] = prog
+			sd.lastMove[id] = now
+			sd.tripped[id] = false
+			continue
+		}
+		open := n.NIC.OpenWork() + n.Generic.EvQueueDepth()
+		if open == 0 || sd.tripped[id] || now-sd.lastMove[id] < sd.window {
+			continue
+		}
+		sd.tripped[id] = true
+		sd.Stalls++
+		if m.rec != nil {
+			m.rec.Ring(int(id)).Record(flightrec.KStall, now, 0, uint32(open), 0)
+		}
+		m.reportFailure(FailureStall, id, fmt.Sprintf(
+			"no forward progress for %v with %d open work items", now-sd.lastMove[id], open))
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"portals3/internal/core"
 	"portals3/internal/fabric"
+	"portals3/internal/flightrec"
 	"portals3/internal/fw"
 	"portals3/internal/model"
 	"portals3/internal/nal"
@@ -63,6 +64,11 @@ type Machine struct {
 	tel      *telemetry.Telemetry
 	sampler  *Sampler
 	failures []NodeFailure
+
+	rec            *flightrec.Recorder
+	stall          *StallDetector
+	reports        []FailureReport
+	ledgerReported bool
 }
 
 // Node is one XT3 node.
@@ -123,6 +129,9 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 	n := &Node{ID: id, Kernel: kern, Chip: chip, NIC: nic, Generic: drv}
 	if m.tel != nil {
 		m.wireTelemetry(n)
+	}
+	if m.rec != nil {
+		m.wireFlightRec(n)
 	}
 	m.installFailureHandler(n)
 	m.nodes[id] = n
@@ -270,8 +279,14 @@ func (m *Machine) Spawn(node topo.NodeID, name string, mode Mode, main func(app 
 // paper's limited-NIC-resources constraint.
 const accelPendings = 256
 
-// Run executes the simulation to completion.
-func (m *Machine) Run() { m.S.Run() }
+// Run executes the simulation to completion, then audits the fault plane's
+// ledger: at quiescence every injected fault must be recovered or
+// condemned, and an imbalance files a FailureLedger report (with a dump
+// when the flight recorder is on) instead of panicking.
+func (m *Machine) Run() {
+	m.S.Run()
+	m.checkLedger()
+}
 
 // RunUntil executes the simulation up to a virtual-time horizon.
 func (m *Machine) RunUntil(t sim.Time) { m.S.RunUntil(t) }

@@ -33,12 +33,15 @@ func (m *Machine) Failures() []NodeFailure {
 	return out
 }
 
-// installFailureHandler is called at node construction.
+// installFailureHandler is called at node construction. Panics route
+// through the machine's failure funnel (flightrec.go), so a panic with the
+// flight recorder on also snapshots a dump.
 func (m *Machine) installFailureHandler(n *Node) {
 	nic := n.NIC
 	id := n.ID
 	nic.OnPanic = func(reason string) {
 		m.failures = append(m.failures, NodeFailure{Node: id, Reason: reason, At: m.S.Now()})
+		m.reportFailure(FailurePanic, id, reason)
 		nic.Kill()
 	}
 }

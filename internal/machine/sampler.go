@@ -28,6 +28,17 @@ type nodeSeries struct {
 	htWrBusy   *telemetry.Series
 	sramUsed   *telemetry.Series
 	rxWaits    *telemetry.Series
+
+	// Firmware occupancy: pool frees as series, worst-case watermarks as
+	// gauges (a watermark is a single monotone value, not a time series).
+	rxPendFree *telemetry.Series
+	txPendFree *telemetry.Series
+	srcFree    *telemetry.Series
+	evqDepth   *telemetry.Series
+	rxPendLow  *telemetry.Gauge
+	txPendLow  *telemetry.Gauge
+	srcLow     *telemetry.Gauge
+	evqHigh    *telemetry.Gauge
 }
 
 // Sampler is a running virtual-time stats sampler.
@@ -114,6 +125,15 @@ func (sp *Sampler) sample() {
 		ns.htWrBusy.Append(now, n.Chip.HTWrite.Utilization())
 		ns.sramUsed.Append(now, float64(n.Chip.SRAM.Used()))
 		ns.rxWaits.Append(now, float64(n.Chip.RxFIFO.Waits))
+		occ := n.NIC.Occupancy()
+		ns.rxPendFree.Append(now, float64(occ.RxPendFree))
+		ns.txPendFree.Append(now, float64(occ.TxPendFree))
+		ns.srcFree.Append(now, float64(occ.SourcesFree))
+		ns.evqDepth.Append(now, float64(n.Generic.EvQueueDepth()))
+		ns.rxPendLow.Set(float64(occ.RxPendLow))
+		ns.txPendLow.Set(float64(occ.TxPendLow))
+		ns.srcLow.Set(float64(occ.SourcesLow))
+		ns.evqHigh.Set(float64(n.Generic.EvQueueHigh()))
 	}
 	sp.fabMessages.Append(now, float64(m.Fab.Stats.Messages))
 	sp.fabChunks.Append(now, float64(m.Fab.Stats.Chunks))
@@ -139,6 +159,15 @@ func (sp *Sampler) bindNode(id topo.NodeID) *nodeSeries {
 		htWrBusy:   tel.SeriesFor("node_ht_write_utilization", nl),
 		sramUsed:   tel.SeriesFor("node_sram_used_bytes", nl),
 		rxWaits:    tel.SeriesFor("node_rx_fifo_waits_total", nl),
+
+		rxPendFree: tel.SeriesFor("node_fw_rx_pendings_free", nl),
+		txPendFree: tel.SeriesFor("node_fw_tx_pendings_free", nl),
+		srcFree:    tel.SeriesFor("node_fw_sources_free", nl),
+		evqDepth:   tel.SeriesFor("node_evq_depth", nl),
+		rxPendLow:  tel.Reg.Gauge("node_fw_rx_pendings_low", nl),
+		txPendLow:  tel.Reg.Gauge("node_fw_tx_pendings_low", nl),
+		srcLow:     tel.Reg.Gauge("node_fw_sources_low", nl),
+		evqHigh:    tel.Reg.Gauge("node_evq_high", nl),
 	}
 	sp.nodes[id] = ns
 	return ns

@@ -2,6 +2,7 @@ package nal
 
 import (
 	"portals3/internal/core"
+	"portals3/internal/flightrec"
 	"portals3/internal/fw"
 	"portals3/internal/model"
 	"portals3/internal/oskernel"
@@ -32,10 +33,14 @@ type GenericDriver struct {
 	// send and finishes it at app delivery (machine.EnableTelemetry).
 	Tel *telemetry.Telemetry
 
+	// FR is this node's flight-recorder ring; nil (disabled) is valid.
+	FR *flightrec.Ring
+
 	libs map[uint32]*core.Lib
 
 	evq     []fw.Event // pending firmware events; evqHead indexes the next one
 	evqHead int
+	evqHigh int         // deepest driver event-queue backlog (occupancy high-water)
 	backlog []*fw.TxReq // transmit requests awaiting a free TX pending
 
 	// drainFn and doneFn are drain's continuations, bound once — the drain
@@ -177,8 +182,21 @@ func (d *GenericDriver) submit(tx *fw.TxReq) {
 // coalesce into one interrupt (§4.1).
 func (d *GenericDriver) fwEvent(ev fw.Event) {
 	d.evq = append(d.evq, ev)
+	depth := len(d.evq) - d.evqHead
+	if depth > d.evqHigh {
+		d.evqHigh = depth
+	}
+	if d.FR != nil {
+		d.FR.Record(flightrec.KIrqRaise, d.S.Now(), ev.Span(), uint32(depth), 0)
+	}
 	d.K.RaiseInterrupt()
 }
+
+// EvQueueDepth reports the driver event-queue backlog right now.
+func (d *GenericDriver) EvQueueDepth() int { return len(d.evq) - d.evqHead }
+
+// EvQueueHigh reports the deepest backlog the event queue ever reached.
+func (d *GenericDriver) EvQueueHigh() int { return d.evqHigh }
 
 // drain is the interrupt handler: it processes every queued firmware event,
 // charging host cycles per event, and re-checks for events that arrived

@@ -32,14 +32,15 @@ type Record struct {
 
 // Well-known track ids within a node's group.
 const (
-	TrackHost = iota // host CPU: interrupts, driver work
-	TrackPPC         // firmware handlers
-	TrackWire        // message arrivals/injections
-	TrackApp         // application-visible events
+	TrackHost   = iota // host CPU: interrupts, driver work
+	TrackPPC           // firmware handlers
+	TrackWire          // message arrivals/injections
+	TrackApp           // application-visible events
+	TrackFlight        // flight-recorder events and causal spans (p3dump)
 )
 
 // trackNames names the well-known tracks, indexed by track id.
-var trackNames = [...]string{"host-cpu", "seastar-ppc", "wire", "app"}
+var trackNames = [...]string{"host-cpu", "seastar-ppc", "wire", "app", "flightrec"}
 
 // TrackName returns the display name of a well-known track id ("track N"
 // for ids outside the table).

@@ -90,12 +90,14 @@ func TestWriteChromeDeterministic(t *testing.T) {
 		`{"args":{"name":"seastar-ppc"},"name":"thread_name","ph":"M","pid":1,"tid":1},` +
 		`{"args":{"name":"wire"},"name":"thread_name","ph":"M","pid":1,"tid":2},` +
 		`{"args":{"name":"app"},"name":"thread_name","ph":"M","pid":1,"tid":3},` +
+		`{"args":{"name":"flightrec"},"name":"thread_name","ph":"M","pid":1,"tid":4},` +
 		`{"name":"interrupt","cat":"os","ph":"X","ts":2,"dur":2,"pid":1,"tid":0},` +
 		`{"args":{"name":"node 0"},"name":"process_name","ph":"M","pid":0},` +
 		`{"args":{"name":"host-cpu"},"name":"thread_name","ph":"M","pid":0,"tid":0},` +
 		`{"args":{"name":"seastar-ppc"},"name":"thread_name","ph":"M","pid":0,"tid":1},` +
 		`{"args":{"name":"wire"},"name":"thread_name","ph":"M","pid":0,"tid":2},` +
 		`{"args":{"name":"app"},"name":"thread_name","ph":"M","pid":0,"tid":3},` +
+		`{"args":{"name":"flightrec"},"name":"thread_name","ph":"M","pid":0,"tid":4},` +
 		`{"name":"tx-start","cat":"fw","ph":"X","ts":0,"dur":0.9,"pid":0,"tid":1},` +
 		`{"name":"inject","cat":"net","ph":"i","ts":1,"pid":0,"tid":2,"s":"t"}]` + "\n"
 	if a.String() != want {
@@ -131,7 +133,8 @@ func TestReadChromeRoundTrip(t *testing.T) {
 func TestTrackName(t *testing.T) {
 	for tid, want := range map[int]string{
 		TrackHost: "host-cpu", TrackPPC: "seastar-ppc",
-		TrackWire: "wire", TrackApp: "app", 9: "track 9",
+		TrackWire: "wire", TrackApp: "app",
+		TrackFlight: "flightrec", 9: "track 9",
 	} {
 		if got := TrackName(tid); got != want {
 			t.Errorf("TrackName(%d) = %q, want %q", tid, got, want)

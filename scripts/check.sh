@@ -32,7 +32,7 @@ fi
 
 echo "== substrate benchmarks vs BENCH_substrate.json =="
 if ! bench_raw=$(go test -run xxx \
-    -bench 'SimulatorEventThroughput$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut|PingPongTelemetry' \
+    -bench 'SimulatorEventThroughput$|SimulatorZeroDelayLane|SimulatorEventThroughputDeep|SimulatedPut|PingPongTelemetry|PingPongFlightRec' \
     -benchtime 200ms -benchmem . 2>&1); then
     echo "FAIL: benchmark run exited non-zero:"
     echo "$bench_raw"
