@@ -319,6 +319,36 @@ func BenchmarkPingPongFlightRecOn(b *testing.B) {
 	netpipe.RunPortals(model.Defaults(), netpipe.OpPut, netpipe.PingPong, cfg)
 }
 
+// benchTorusHalo runs the full 512-node (8×8×8, radius-2) halo exchange —
+// the machine-scale workload of DESIGN.md §11 — once per iteration at the
+// given shard count. ns/op is the wall-clock cost of the whole simulated
+// run; sim_us and windows are its (shard-invariant) virtual results.
+func benchTorusHalo(b *testing.B, shards int) {
+	b.ReportAllocs()
+	cfg := experiments.DefaultTorusConfig()
+	cfg.Shards = shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TorusHalo(cfg)
+		if len(r.Errors) > 0 {
+			b.Fatalf("halo run failed: %s", r.Errors[0])
+		}
+		b.ReportMetric(float64(r.FinishPs)/1e6, "sim_us")
+		b.ReportMetric(float64(r.Windows), "windows")
+	}
+}
+
+// BenchmarkTorusHaloSeq is the sequential reference arm (shards=1: the
+// single-lane kernel, one event heap). scripts/check.sh compares it against
+// BenchmarkTorusHaloShard4 for the sharded kernel's speedup and allocation
+// gates (BENCH_substrate.json, torus_halo section).
+func BenchmarkTorusHaloSeq(b *testing.B) { benchTorusHalo(b, 1) }
+
+// BenchmarkTorusHaloShard4 is the parallel arm: four event lanes under
+// conservative lookahead. Simulated results are bit-identical to the Seq
+// arm (enforced by TestTorusDifferential); only wall-clock may differ.
+func BenchmarkTorusHaloShard4(b *testing.B) { benchTorusHalo(b, 4) }
+
 // BenchmarkAblationInlineOptimization removes the ≤12-byte
 // payload-in-header path (§6) and reports the small-message cost.
 func BenchmarkAblationInlineOptimization(b *testing.B) {

@@ -23,12 +23,25 @@
 //
 //	netpipe -series put -gbn -faults drop:data:0.01,drop:fcack:0.05
 //	netpipe -series put -gbn -faults delay:data:0.02:20us -faultseed 7
+//
+// The machine-scale torus halo exchange runs on the sharded parallel
+// kernel; -shards picks the lane count and -seq forces the sequential
+// reference (simulated results are bit-identical either way):
+//
+//	netpipe -torus -shards 4
+//	netpipe -torus -seq -stats
+//
+// Host-side profiling (go tool pprof) works with every mode:
+//
+//	netpipe -torus -shards 4 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"portals3/internal/experiments"
@@ -104,6 +117,12 @@ func main() {
 	flightrecEvents := flag.Int("flightrec-events", 0, "flight recorder ring capacity per node, 0 for the default")
 	dumpOnStall := flag.Int("dump-on-stall", 0, "stall detection window in simulated microseconds; a stalled flow dumps the recorder (with -flightrec)")
 	dumpOut := flag.String("dumpout", "netpipe.p3dump", "flight recorder dump file (with -flightrec; render with p3dump)")
+	torus := flag.Bool("torus", false, "run the machine-scale torus halo exchange instead of a netpipe curve")
+	dim := flag.Int("dim", 8, "torus dimension: dim^3 nodes (with -torus)")
+	shards := flag.Int("shards", 1, "event lanes for the sharded parallel kernel (with -torus)")
+	seq := flag.Bool("seq", false, "force the sequential reference kernel, shards=1 (with -torus)")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a host heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
 
 	p := model.Defaults()
@@ -114,9 +133,26 @@ func main() {
 	}
 	p.Faults = rules
 	p.FaultSeed = *faultSeed
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	switch {
 	case *ablations:
 		runAblations(p)
+	case *torus:
+		n := *shards
+		if *seq {
+			n = 1
+		}
+		runTorus(p, *dim, n, *gbn, *stats, *telemetryOut)
 	case *fig != "":
 		runFigures(p, *fig, *checks)
 	case *series != "":
@@ -126,6 +162,60 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("cpu profile written to %s (go tool pprof)\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("heap profile written to %s (go tool pprof)\n", *memprofile)
+	}
+}
+
+// runTorus drives the machine-scale halo exchange on the sharded kernel.
+func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut string) {
+	cfg := experiments.DefaultTorusConfig()
+	cfg.Dim = dim
+	cfg.Shards = shards
+	cfg.GoBackN = gbn
+	cfg.Faults = p.Faults
+	cfg.FaultSeed = p.FaultSeed
+	cfg.Telemetry = telemetryOut != ""
+	r := experiments.TorusHalo(cfg)
+	fmt.Printf("# torus halo: %d nodes (%dx%dx%d, radius %d), %d KB faces, %d steps, shards=%d\n",
+		r.Nodes, dim, dim, dim, cfg.Radius, cfg.Bytes/1024, cfg.Steps, r.Shards)
+	fmt.Printf("finished at %.1f us simulated, %d kernel windows\n",
+		float64(r.FinishPs)/1e6, r.Windows)
+	if stats {
+		fmt.Println()
+		fmt.Print(r.StatsText)
+	}
+	if r.FaultsLine != "" {
+		fmt.Printf("fault plane: %s\n", r.FaultsLine)
+	}
+	if telemetryOut != "" {
+		if err := os.WriteFile(telemetryOut, r.TelemetryJSON, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry written to %s (render with p3stat)\n", telemetryOut)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintln(os.Stderr, "ERROR: "+e)
+	}
+	if len(r.Errors) > 0 {
+		os.Exit(1)
 	}
 }
 

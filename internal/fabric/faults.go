@@ -125,6 +125,15 @@ type FaultPlane struct {
 	// instead of waiting forever.
 	accepted map[flowPair]uint32
 
+	// Injection indirection: where a surviving (or cloned, delayed,
+	// resumed) frame re-enters the fabric, and where clone IDs come from.
+	// The classic whole-fabric plane binds these to sendHeaderNow/
+	// sendChunkNow and the fabric ID counter; the sharded per-source-node
+	// planes bind them to the hopwise path and the node's ID space.
+	sendHeader func(*Message)
+	sendChunk  func(*Chunk)
+	newID      func() uint64
+
 	Stats FaultStats
 }
 
@@ -136,7 +145,20 @@ func newFaultPlane(f *Fabric) *FaultPlane {
 	if seed == 0 {
 		seed = defaultFaultSeed
 	}
-	p := &FaultPlane{
+	p := newFaultPlaneSeeded(f, seed)
+	p.sendHeader = f.sendHeaderNow
+	p.sendChunk = f.sendChunkNow
+	p.newID = func() uint64 { f.nextID++; return f.nextID }
+	for _, r := range f.P.Faults {
+		p.AddRule(r)
+	}
+	return p
+}
+
+// newFaultPlaneSeeded builds an empty plane with its own PRNG; the caller
+// wires the injection indirection and rules.
+func newFaultPlaneSeeded(f *Fabric, seed int64) *FaultPlane {
+	return &FaultPlane{
 		f:        f,
 		rng:      rand.New(rand.NewSource(seed)),
 		fates:    make(map[uint64]*msgFate),
@@ -147,10 +169,6 @@ func newFaultPlane(f *Fabric) *FaultPlane {
 		msgOpen:  make(map[uint64]int),
 		accepted: make(map[flowPair]uint32),
 	}
-	for _, r := range f.P.Faults {
-		p.AddRule(r)
-	}
-	return p
 }
 
 // Faults returns the fabric's fault plane, creating it on first use.
@@ -391,18 +409,18 @@ func (p *FaultPlane) injectHeader(m *Message) {
 		p.Stats.Stalls++
 		p.count("stall", frameClassOf(m))
 		p.msgOpen[m.ID]++
-		p.stalled[m.Dst] = append(q, func() { p.f.sendHeaderNow(m) })
+		p.stalled[m.Dst] = append(q, func() { p.sendHeader(m) })
 		return
 	}
-	p.f.sendHeaderNow(m)
+	p.sendHeader(m)
 }
 
 func (p *FaultPlane) injectChunk(c *Chunk) {
 	if q, ok := p.stalled[c.Msg.Dst]; ok {
-		p.stalled[c.Msg.Dst] = append(q, func() { p.f.sendChunkNow(c) })
+		p.stalled[c.Msg.Dst] = append(q, func() { p.sendChunk(c) })
 		return
 	}
-	p.f.sendChunkNow(c)
+	p.sendChunk(c)
 }
 
 // dropMsg discards a message at injection. The sender's TX state machine
@@ -467,9 +485,8 @@ func (p *FaultPlane) swallowChunk(c *Chunk) {
 // demultiplex streams by ID), same wire contents and go-back-n sequence.
 func (p *FaultPlane) cloneMsg(m *Message) *Message {
 	f := p.f
-	f.nextID++
 	m2 := f.getMsg()
-	m2.ID = f.nextID
+	m2.ID = p.newID()
 	m2.Hdr = m.Hdr
 	m2.Src = m.Src
 	m2.Dst = m.Dst

@@ -1,0 +1,400 @@
+// Sharded fabric: the hopwise store-and-forward transport that lets one
+// simulated machine run across the parallel kernel's event lanes.
+//
+// The classic Fabric reserves a message's whole fixed path at injection
+// time — an optimization that is exact on a single event lane but couples
+// every node's state at zero latency. Here each hop is its own event,
+// executed on the lane that owns the current router, and every inter-node
+// handoff travels through the kernel's cross-shard mailboxes. The minimum
+// handoff distance — one link occupancy plus the per-hop wire latency —
+// is the conservative lookahead bound the kernel synchronizes on
+// (MinHandoffLatency).
+//
+// Node state is partitioned by lane: each lane owns a Fabric instance
+// (object pools, link servers, counters, telemetry handle) and each node a
+// NodePort, the per-node injection interface the firmware holds. A NodePort
+// recycles carriers into the pools of the lane that frees them, so a chunk
+// allocated on shard A and released on shard B simply migrates pools — the
+// freelists never see cross-shard writes (see the pool-handoff test).
+package fabric
+
+import (
+	"fmt"
+
+	"portals3/internal/model"
+	"portals3/internal/sim"
+	"portals3/internal/telemetry"
+	"portals3/internal/topo"
+	"portals3/internal/wire"
+)
+
+// Port is the fabric surface a NIC holds: injection, carrier pooling and
+// fault-ledger notification. The classic *Fabric implements it directly;
+// sharded machines hand each NIC its node's *NodePort.
+type Port interface {
+	Attach(node topo.NodeID, ep Endpoint)
+	NewStream(hdr wire.Header, src, dst topo.NodeID, payloadLen int) *Message
+	SendHeader(m *Message)
+	SendChunk(c *Chunk)
+	AllocChunk(n int) *Chunk
+	RecycleChunk(c *Chunk)
+	RecycleMsg(m *Message)
+	FaultAccepted(m *Message)
+	FaultCondemned(m *Message)
+}
+
+var (
+	_ Port = (*Fabric)(nil)
+	_ Port = (*NodePort)(nil)
+)
+
+// MinHandoffLatency is the smallest virtual-time distance of any
+// inter-node handoff in the hopwise transport: every hop pays at least one
+// link occupancy (> 0) plus HopLatency before the next node is touched, so
+// HopLatency is a safe conservative lookahead for the sharded kernel.
+func MinHandoffLatency(p *model.Params) sim.Time { return p.HopLatency }
+
+// Cluster is the sharded fabric: one Fabric per lane, one NodePort per
+// node, and the endpoint directory shared by all lanes (written only
+// during machine assembly, read-only while the kernel runs).
+type Cluster struct {
+	Kern *sim.Kernel
+	Topo *topo.Topology
+	P    *model.Params
+
+	laneOf []int
+	lanes  []*Fabric
+	ports  []*NodePort
+	eps    []Endpoint
+	faulty bool
+}
+
+// NewCluster partitions the topology's nodes over the kernel's lanes.
+// laneOf must be a pure function mapping every node to a lane in range.
+func NewCluster(kern *sim.Kernel, t *topo.Topology, p *model.Params, laneOf func(topo.NodeID) int) *Cluster {
+	if p.LinkBitErrorRate > 0 {
+		panic("fabric: sharded cluster requires LinkBitErrorRate=0 (link-retry sampling draws lane-local randomness)")
+	}
+	n := t.Nodes()
+	cl := &Cluster{
+		Kern:   kern,
+		Topo:   t,
+		P:      p,
+		laneOf: make([]int, n),
+		lanes:  make([]*Fabric, kern.Shards()),
+		ports:  make([]*NodePort, n),
+		eps:    make([]Endpoint, n),
+		faulty: len(p.Faults) > 0 || p.FaultSeed != 0,
+	}
+	for i := range cl.lanes {
+		cl.lanes[i] = newBareFabric(kern.Lane(i), t, p)
+	}
+	base := p.FaultSeed
+	if base == 0 {
+		base = defaultFaultSeed
+	}
+	for id := 0; id < n; id++ {
+		lane := laneOf(topo.NodeID(id))
+		if lane < 0 || lane >= kern.Shards() {
+			panic(fmt.Sprintf("fabric: node %d mapped to lane %d of %d", id, lane, kern.Shards()))
+		}
+		cl.laneOf[id] = lane
+		pt := &NodePort{cl: cl, node: topo.NodeID(id), lane: lane, f: cl.lanes[lane]}
+		if cl.faulty {
+			// Per-source-node plane: rules are evaluated where injections
+			// happen, with a node-private PRNG stream so decisions do not
+			// depend on how nodes interleave within a lane. Rule Count
+			// limits consequently apply per source node (documented in
+			// DESIGN.md §11).
+			pl := newFaultPlaneSeeded(pt.f, base^(int64(id+1)*0x9e3779b97f4a7c1))
+			pl.sendHeader = pt.launchHeader
+			pl.sendChunk = pt.launchChunk
+			pl.newID = pt.allocID
+			for _, r := range p.Faults {
+				pl.AddRule(r)
+			}
+			pt.plane = pl
+		}
+		cl.ports[id] = pt
+	}
+	return cl
+}
+
+// newBareFabric builds a Fabric without fault-plane activation — the
+// cluster manages per-node planes itself.
+func newBareFabric(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
+	return &Fabric{
+		S:      s,
+		Topo:   t,
+		P:      p,
+		links:  make(map[linkKey]*sim.Server),
+		eps:    make(map[topo.NodeID]Endpoint),
+		routes: make(map[[2]topo.NodeID][]topo.Dir),
+	}
+}
+
+// Port returns node id's injection interface.
+func (cl *Cluster) Port(id topo.NodeID) *NodePort { return cl.ports[id] }
+
+// Lane returns the lane index owning node id.
+func (cl *Cluster) Lane(id topo.NodeID) int { return cl.laneOf[id] }
+
+// SetTelemetry attaches one lane's telemetry handle (per-lane instances
+// keep the hot path lock-free; the machine merges them at snapshot time).
+func (cl *Cluster) SetTelemetry(lane int, tel *telemetry.Telemetry) { cl.lanes[lane].Tel = tel }
+
+// StatsSum aggregates the per-lane fabric counters. Injection counts land
+// on the sender's lane and deliveries on the receiver's, so the sums are
+// independent of the partition.
+func (cl *Cluster) StatsSum() Stats {
+	var out Stats
+	for _, f := range cl.lanes {
+		out.Messages += f.Stats.Messages
+		out.Chunks += f.Stats.Chunks
+		out.LinkRetries += f.Stats.LinkRetries
+		out.Delivered += f.Stats.Delivered
+	}
+	return out
+}
+
+// FaultSnapshot sums the per-source-node fault ledgers; ok is false when
+// the cluster was built without fault configuration.
+func (cl *Cluster) FaultSnapshot() (FaultStats, bool) {
+	if !cl.faulty {
+		return FaultStats{}, false
+	}
+	var out FaultStats
+	for _, pt := range cl.ports {
+		s := pt.plane.Stats
+		out.DropsData += s.DropsData
+		out.DropsFcAck += s.DropsFcAck
+		out.DropsFcNack += s.DropsFcNack
+		out.DropsLink += s.DropsLink
+		out.Dups += s.Dups
+		out.Delays += s.Delays
+		out.Stalls += s.Stalls
+		out.Recovered += s.Recovered
+		out.Condemned += s.Condemned
+	}
+	return out, true
+}
+
+// NodePort is one node's fabric interface on a sharded machine. All its
+// methods run on the node's own lane.
+type NodePort struct {
+	cl   *Cluster
+	node topo.NodeID
+	lane int
+	f    *Fabric // the owning lane's fabric (pools, links, stats, telemetry)
+
+	nextID  uint64 // per-node message ID sequence (IDs are (node+1)<<32 | seq)
+	postSeq uint64 // per-node mailbox ordering sequence, shard-invariant
+
+	plane *FaultPlane // per-source-node fault plane, nil when fault-free
+}
+
+// Node returns the port's node id.
+func (pt *NodePort) Node() topo.NodeID { return pt.node }
+
+// post sends fn through the kernel mailbox to execute on dst's lane at
+// time at, ordered by this node's shard-invariant post sequence.
+func (pt *NodePort) post(dst *NodePort, at sim.Time, fn func()) {
+	pt.postSeq++
+	pt.cl.Kern.Post(pt.lane, dst.lane, at, int32(pt.node), pt.postSeq, fn)
+}
+
+// allocID mints a node-scoped message ID. Classic fabrics number messages
+// globally; a shard-invariant scheme must not depend on cross-node
+// injection interleaving, so sharded IDs embed the source node.
+func (pt *NodePort) allocID() uint64 {
+	pt.nextID++
+	return uint64(uint32(pt.node)+1)<<32 | pt.nextID
+}
+
+// Attach registers the node's endpoint in the cluster directory.
+func (pt *NodePort) Attach(node topo.NodeID, ep Endpoint) {
+	if node != pt.node {
+		panic(fmt.Sprintf("fabric: port of node %d attached as node %d", pt.node, node))
+	}
+	if pt.cl.eps[node] != nil {
+		panic(fmt.Sprintf("fabric: node %d attached twice", node))
+	}
+	pt.cl.eps[node] = ep
+}
+
+// NewStream is Fabric.NewStream against the lane pool with node-scoped IDs.
+func (pt *NodePort) NewStream(hdr wire.Header, src, dst topo.NodeID, payloadLen int) *Message {
+	m := pt.f.getMsg()
+	m.ID = pt.allocID()
+	m.Hdr = hdr
+	m.Src = src
+	m.Dst = dst
+	m.PayloadLen = payloadLen
+	return m
+}
+
+// AllocChunk takes a carrier from the current lane's pool.
+func (pt *NodePort) AllocChunk(n int) *Chunk { return pt.f.AllocChunk(n) }
+
+// RecycleChunk returns a carrier to the current lane's pool — the sharded
+// return path: a consumer frees into its own lane, never across shards.
+func (pt *NodePort) RecycleChunk(c *Chunk) { pt.f.RecycleChunk(c) }
+
+// RecycleMsg returns a message to the current lane's pool (see
+// RecycleChunk for the cross-shard rule).
+func (pt *NodePort) RecycleMsg(m *Message) { pt.f.RecycleMsg(m) }
+
+// SendHeader injects a header packet into the hopwise transport.
+func (pt *NodePort) SendHeader(m *Message) {
+	if pt.cl.eps[m.Dst] == nil {
+		panic(fmt.Sprintf("fabric: no endpoint at node %d", m.Dst))
+	}
+	pt.f.Stats.Messages++
+	if pt.plane != nil && pt.plane.filterHeader(m) {
+		return
+	}
+	pt.launchHeader(m)
+}
+
+// SendChunk injects payload bytes into the hopwise transport.
+func (pt *NodePort) SendChunk(c *Chunk) {
+	if pt.cl.eps[c.Msg.Dst] == nil {
+		panic(fmt.Sprintf("fabric: no endpoint at node %d", c.Msg.Dst))
+	}
+	pt.f.Stats.Chunks++
+	if pt.plane != nil && pt.plane.filterChunk(c) {
+		return
+	}
+	pt.launchChunk(c)
+}
+
+// launchHeader starts a header's hop walk from the source node. The TX
+// machine considers the packet sent at injection (stamp + OnInjected);
+// receive-window credits are charged on the destination lane at arrival,
+// so flow control is destination-side in the hopwise model.
+func (pt *NodePort) launchHeader(m *Message) {
+	now := pt.f.S.Now()
+	m.Rec.Stamp(telemetry.StampWire, now)
+	if m.OnInjected != nil {
+		m.OnInjected()
+	}
+	if m.Src == m.Dst {
+		// Loopback still pays NIC injection + ejection, entirely on-lane.
+		pt.f.S.At(now+2*pt.f.P.InjectLatency, func() { pt.recvHeader(m) })
+		return
+	}
+	pt.stepHeader(m, now+pt.f.P.InjectLatency)
+}
+
+// stepHeader executes the walk at the current node: reserve the outgoing
+// link, then hand the walker to the next router through the mailbox.
+func (pt *NodePort) stepHeader(m *Message, t sim.Time) {
+	next, t2 := pt.hop(m.Dst, t, int64(pt.f.P.PacketBytes))
+	np := pt.cl.ports[next]
+	if next == m.Dst {
+		pt.post(np, t2+pt.f.P.InjectLatency, func() { np.recvHeader(m) })
+		return
+	}
+	pt.post(np, t2, func() { np.stepHeader(m, t2) })
+}
+
+// launchChunk starts a payload chunk's hop walk (see launchHeader).
+func (pt *NodePort) launchChunk(c *Chunk) {
+	if c.OnInjected != nil {
+		c.OnInjected()
+	}
+	now := pt.f.S.Now()
+	if c.Msg.Src == c.Msg.Dst {
+		pt.f.S.At(now+2*pt.f.P.InjectLatency, func() { pt.recvChunk(c) })
+		return
+	}
+	pt.stepChunk(c, now+pt.f.P.InjectLatency)
+}
+
+func (pt *NodePort) stepChunk(c *Chunk, t sim.Time) {
+	next, t2 := pt.hop(c.Msg.Dst, t, int64(len(c.Data)))
+	np := pt.cl.ports[next]
+	if next == c.Msg.Dst {
+		pt.post(np, t2+pt.f.P.InjectLatency, func() { np.recvChunk(c) })
+		return
+	}
+	pt.post(np, t2, func() { np.stepChunk(c, t2) })
+}
+
+// hop reserves this node's outgoing link toward dst for nbytes arriving at
+// time t and returns the neighbor plus the arrival time there. Links are
+// owned by the lane of the node they leave, so contention is resolved in
+// local event order — per-hop, as on the real router.
+func (pt *NodePort) hop(dst topo.NodeID, t sim.Time, nbytes int64) (topo.NodeID, sim.Time) {
+	f := pt.f
+	d, ok := f.Topo.NextHop(pt.node, dst)
+	if !ok {
+		panic("fabric: hop walk already at destination")
+	}
+	occupancy := sim.BytesAt(nbytes, f.P.LinkBps)
+	t2 := f.link(pt.node, d).SubmitAfter(t, occupancy, nil) + f.P.HopLatency
+	next, ok := f.Topo.Neighbor(pt.node, d)
+	if !ok {
+		panic("fabric: route fell off the mesh")
+	}
+	return next, t2
+}
+
+// recvHeader runs on the destination lane at arrival: charge the receive
+// window, then deliver — destination-side admission replaces the classic
+// source-side credit take.
+func (pt *NodePort) recvHeader(m *Message) {
+	f := pt.f
+	ep := pt.cl.eps[m.Dst]
+	ep.RxWindow().Take(int64(f.P.PacketBytes), func() {
+		m.Rec.Stamp(telemetry.StampRxHdr, f.S.Now())
+		if pt.cl.faulty {
+			pt.noteToSource(m, (*FaultPlane).noteDelivered)
+		}
+		ep.HeaderArrived(m)
+		if m.PayloadLen == 0 {
+			f.Stats.Delivered++
+		}
+	})
+}
+
+func (pt *NodePort) recvChunk(c *Chunk) {
+	f := pt.f
+	ep := pt.cl.eps[c.Msg.Dst]
+	ep.RxWindow().Take(int64(len(c.Data)), func() {
+		ep.ChunkArrived(c)
+		if c.Last {
+			f.Stats.Delivered++
+		}
+	})
+}
+
+// FaultAccepted forwards the receiver-side commit to the source node's
+// fault plane — one hop of latency away, through the mailbox, so the
+// ledger lives entirely on the lane that opened its entries.
+func (pt *NodePort) FaultAccepted(m *Message) {
+	if pt.cl.faulty {
+		pt.noteToSource(m, (*FaultPlane).noteAccepted)
+	}
+}
+
+// FaultCondemned forwards a receiver-side discard to the source plane.
+func (pt *NodePort) FaultCondemned(m *Message) {
+	if pt.cl.faulty {
+		pt.noteToSource(m, (*FaultPlane).noteCondemned)
+	}
+}
+
+// noteToSource posts a ledger note to the message's source plane. Only
+// identity fields travel; the message object itself stays (and may be
+// recycled) on the noting lane.
+func (pt *NodePort) noteToSource(m *Message, apply func(*FaultPlane, *Message)) {
+	sp := pt.cl.ports[m.Src]
+	mm := &Message{ID: m.ID, Hdr: m.Hdr, Src: m.Src, Dst: m.Dst, FwSeq: m.FwSeq}
+	at := pt.f.S.Now() + pt.cl.Kern.Lookahead()
+	if sp == pt {
+		pt.f.S.At(at, func() { apply(sp.plane, mm) })
+		return
+	}
+	pt.post(sp, at, func() { apply(sp.plane, mm) })
+}

@@ -149,11 +149,12 @@ const DefaultRingEvents = 4096
 // Ring is one node's recorder. A nil *Ring is valid and disabled; every
 // method is nil-safe, so components hold the pointer unconditionally.
 type Ring struct {
-	rec  *Recorder
-	node int
-	buf  []Event
-	head int    // next write index
-	n    uint64 // lifetime events recorded
+	rec     *Recorder
+	node    int
+	buf     []Event
+	head    int    // next write index
+	n       uint64 // lifetime events recorded
+	spanSeq uint64 // per-node span sequence (node-scoped span mode)
 }
 
 // Enabled reports whether records will be kept.
@@ -172,12 +173,19 @@ func (r *Ring) Record(k Kind, t sim.Time, span uint64, a, b uint32) {
 	r.n++
 }
 
-// NewSpan mints a fresh causal span id from the machine-wide counter. The
-// nil ring returns span 0 ("untracked"), so the submit path needs no
-// separate enabled test.
+// NewSpan mints a fresh causal span id. In the default mode the id comes
+// from the machine-wide counter; in node-scoped mode (sharded machines)
+// each ring numbers its own spans, tagged with the minting node in the
+// high half, so span ids never depend on how nodes interleave across
+// event lanes. The nil ring returns span 0 ("untracked"), so the submit
+// path needs no separate enabled test.
 func (r *Ring) NewSpan() uint64 {
 	if r == nil {
 		return 0
+	}
+	if r.rec.nodeSpans {
+		r.spanSeq++
+		return uint64(uint32(r.node)+1)<<32 | r.spanSeq
 	}
 	r.rec.nextSpan++
 	return r.rec.nextSpan
@@ -218,9 +226,10 @@ func (r *Ring) Events() []Event {
 
 // Recorder owns the per-node rings and the machine-wide span counter.
 type Recorder struct {
-	cap      int
-	rings    map[int]*Ring
-	nextSpan uint64
+	cap       int
+	rings     map[int]*Ring
+	nextSpan  uint64
+	nodeSpans bool
 }
 
 // NewRecorder builds a recorder whose rings hold capPerNode events each
@@ -230,6 +239,18 @@ func NewRecorder(capPerNode int) *Recorder {
 		capPerNode = DefaultRingEvents
 	}
 	return &Recorder{cap: capPerNode, rings: make(map[int]*Ring)}
+}
+
+// UseNodeSpans switches span minting to the node-scoped scheme: span ids
+// become (node+1)<<32 | per-ring sequence. Sharded machines require this —
+// a machine-wide counter would order spans by lane interleaving — and
+// enable it at every shard count so dumps stay comparable. Must be set
+// before any span is minted.
+func (rec *Recorder) UseNodeSpans() {
+	if rec.nextSpan != 0 {
+		panic("flightrec: UseNodeSpans after spans were minted")
+	}
+	rec.nodeSpans = true
 }
 
 // Ring returns (allocating on first use) the ring for one node.

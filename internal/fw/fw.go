@@ -271,7 +271,7 @@ type NIC struct {
 	S    *sim.Sim
 	P    *model.Params
 	Chip *seastar.Chip
-	Fab  *fabric.Fabric
+	Fab  fabric.Port
 	Node topo.NodeID
 
 	// Policy selects exhaustion handling.
@@ -336,7 +336,7 @@ type NIC struct {
 // New creates the firmware for one chip and charges its static structures
 // to SRAM: the global source pool and (as processes register) the pending
 // pools. The error is a configuration error — the pools must fit in 384 KB.
-func New(s *sim.Sim, p *model.Params, chip *seastar.Chip, fab *fabric.Fabric, node topo.NodeID) (*NIC, error) {
+func New(s *sim.Sim, p *model.Params, chip *seastar.Chip, fab fabric.Port, node topo.NodeID) (*NIC, error) {
 	n := &NIC{
 		S:          s,
 		P:          p,

@@ -70,13 +70,22 @@ func (m *Machine) Reports() []FailureReport {
 }
 
 // reportFailure is the funnel: record the report and, when the flight
-// recorder is running, attach a full machine dump.
+// recorder is running, attach a full machine dump. On a sharded machine
+// reports from lane workers are serialized by the mutex, timestamped from
+// the failing node's lane, and carry no detection-time dump — snapshotting
+// other lanes mid-window would race; take one after Run instead.
 func (m *Machine) reportFailure(kind FailureKind, node topo.NodeID, reason string) {
-	r := FailureReport{Kind: kind, Node: node, Reason: reason, At: m.S.Now()}
-	if m.rec != nil {
+	at := m.S.Now()
+	if m.kern != nil && node >= 0 {
+		at = m.laneSim(node).Now()
+	}
+	r := FailureReport{Kind: kind, Node: node, Reason: reason, At: at}
+	if m.rec != nil && m.kern == nil {
 		r.Dump = m.takeDump(reason, kind.String(), int(node))
 	}
+	m.mu.Lock()
 	m.reports = append(m.reports, r)
+	m.mu.Unlock()
 }
 
 // EnableFlightRecorder starts per-node flight recording, with ringEvents
@@ -87,6 +96,11 @@ func (m *Machine) reportFailure(kind FailureKind, node topo.NodeID, reason strin
 func (m *Machine) EnableFlightRecorder(ringEvents int) *flightrec.Recorder {
 	if m.rec == nil {
 		m.rec = flightrec.NewRecorder(ringEvents)
+		if m.kern != nil {
+			// Node-scoped spans at every shard count, so shards=1 and
+			// shards=N dumps are byte-comparable (DESIGN.md §11).
+			m.rec.UseNodeSpans()
+		}
 		for _, n := range m.nodes {
 			m.wireFlightRec(n)
 		}
@@ -146,7 +160,7 @@ func (m *Machine) checkLedger() {
 	if m.ledgerReported {
 		return
 	}
-	st, ok := m.Fab.FaultSnapshot()
+	st, ok := m.FaultSnapshot()
 	if !ok || st.Open() == 0 {
 		return
 	}
@@ -184,6 +198,7 @@ func (sd *StallDetector) Stop() { sd.halted = true }
 // every window/4 and self-terminate with the event heap, like the sampler,
 // so Machine.Run still returns.
 func (m *Machine) StartStallDetector(window sim.Time) *StallDetector {
+	m.seqOnly("the stall detector")
 	if m.stall != nil {
 		return m.stall
 	}

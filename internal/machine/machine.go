@@ -9,6 +9,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"portals3/internal/core"
 	"portals3/internal/fabric"
@@ -65,6 +66,14 @@ type Machine struct {
 	sampler  *Sampler
 	failures []NodeFailure
 
+	// Sharded-machine state (NewSharded; nil on a classic machine): the
+	// parallel kernel, the per-lane fabric cluster, per-lane telemetry
+	// instances, and the mutex serializing the failure funnel across lanes.
+	kern *sim.Kernel
+	cl   *fabric.Cluster
+	tels []*telemetry.Telemetry
+	mu   sync.Mutex
+
 	rec            *flightrec.Recorder
 	stall          *StallDetector
 	reports        []FailureReport
@@ -111,9 +120,10 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 	if !m.Topo.Valid(id) {
 		panic(fmt.Sprintf("machine: invalid node %d", id))
 	}
-	kern := oskernel.New(m.S, &m.P, m.OSKind(id), id)
-	chip := seastar.New(m.S, &m.P, id)
-	nic, err := fw.New(m.S, &m.P, chip, m.Fab, id)
+	ls := m.laneSim(id)
+	kern := oskernel.New(ls, &m.P, m.OSKind(id), id)
+	chip := seastar.New(ls, &m.P, id)
+	nic, err := fw.New(ls, &m.P, chip, m.nodePort(id), id)
 	if err != nil {
 		panic(err)
 	}
@@ -127,7 +137,7 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 		panic(err)
 	}
 	n := &Node{ID: id, Kernel: kern, Chip: chip, NIC: nic, Generic: drv}
-	if m.tel != nil {
+	if m.tel != nil || m.tels != nil {
 		m.wireTelemetry(n)
 	}
 	if m.rec != nil {
@@ -142,6 +152,7 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 // interrupt and Portals-event activity) and returns the tracer. Call it
 // before spawning processes; write the result with Tracer.WriteChrome.
 func (m *Machine) EnableTracing() *trace.Tracer {
+	m.seqOnly("tracing")
 	if m.tracer == nil {
 		m.tracer = trace.New()
 		m.Fab.Trace = m.tracer
@@ -160,6 +171,21 @@ func (m *Machine) EnableTracing() *trace.Tracer {
 // tracing, enable it before spawning processes; a machine without it pays
 // one pointer test per site and allocates nothing.
 func (m *Machine) EnableTelemetry() *telemetry.Telemetry {
+	if m.kern != nil {
+		if m.tels == nil {
+			m.tels = make([]*telemetry.Telemetry, m.kern.Shards())
+			for i := range m.tels {
+				m.tels[i] = telemetry.New()
+				m.cl.SetTelemetry(i, m.tels[i])
+			}
+			for _, n := range m.nodes {
+				m.wireTelemetry(n)
+			}
+		}
+		// The per-lane instances are live; read the merged view through
+		// Machine.Telemetry after the run.
+		return m.tels[0]
+	}
 	if m.tel == nil {
 		m.tel = telemetry.New()
 		m.Fab.Tel = m.tel
@@ -171,12 +197,20 @@ func (m *Machine) EnableTelemetry() *telemetry.Telemetry {
 }
 
 // Telemetry returns the machine's telemetry handle (nil unless enabled).
-func (m *Machine) Telemetry() *telemetry.Telemetry { return m.tel }
+// On a sharded machine it merges the per-lane instances into a fresh one —
+// call it after Run, from the driver goroutine.
+func (m *Machine) Telemetry() *telemetry.Telemetry {
+	if m.tels != nil {
+		return telemetry.Merged(m.tels...)
+	}
+	return m.tel
+}
 
-// wireTelemetry points one node's components at the machine handle.
+// wireTelemetry points one node's components at its telemetry handle.
 func (m *Machine) wireTelemetry(n *Node) {
-	n.Generic.Tel = m.tel
-	n.Kernel.IrqHist = m.tel.Reg.Histogram("host_irq_dispatch_ps", telemetry.NodeLabel(int(n.ID)))
+	tel := m.nodeTel(n.ID)
+	n.Generic.Tel = tel
+	n.Kernel.IrqHist = tel.Reg.Histogram("host_irq_dispatch_ps", telemetry.NodeLabel(int(n.ID)))
 }
 
 // EnableGoBackN switches every node — existing and subsequently built — to
@@ -192,20 +226,28 @@ func (m *Machine) EnableGoBackN() {
 // use. Scenarios configure rules either up front via Params.Faults or at
 // runtime through the plane (AddRule, LinkDownFor, StallNodeFor, ...);
 // either way the plane's seeded PRNG keeps the run reproducible.
-func (m *Machine) Faults() *fabric.FaultPlane { return m.Fab.Faults() }
+func (m *Machine) Faults() *fabric.FaultPlane {
+	m.seqOnly("runtime fault-plane access (configure Params.Faults up front)")
+	return m.Fab.Faults()
+}
 
 // InjectFault appends one fault rule at runtime.
-func (m *Machine) InjectFault(r model.FaultRule) { m.Fab.Faults().AddRule(r) }
+func (m *Machine) InjectFault(r model.FaultRule) {
+	m.seqOnly("runtime fault injection (configure Params.Faults up front)")
+	m.Fab.Faults().AddRule(r)
+}
 
 // StallNodeFor holds all traffic destined to a node for dur, releasing it
 // in arrival order — a hung NIC that later resumes.
 func (m *Machine) StallNodeFor(node topo.NodeID, dur sim.Time) {
+	m.seqOnly("StallNodeFor")
 	m.Fab.Faults().StallNodeFor(node, dur)
 }
 
 // LinkDownFor takes the directed link leaving node in direction d out of
 // service for dur; messages routed across it are dropped meanwhile.
 func (m *Machine) LinkDownFor(node topo.NodeID, d topo.Dir, dur sim.Time) {
+	m.seqOnly("LinkDownFor")
 	m.Fab.Faults().LinkDownFor(node, d, dur)
 }
 
@@ -267,7 +309,7 @@ func (m *Machine) Spawn(node topo.NodeID, name string, mode Mode, main func(app 
 	}
 
 	lib.Trace = m.tracer
-	m.S.Go(name, func(p *sim.Proc) {
+	n.NIC.S.Go(name, func(p *sim.Proc) {
 		app.Proc = p
 		app.API = nal.NewAPI(p, lib, bridge, &m.P)
 		main(app)
@@ -284,9 +326,16 @@ const accelPendings = 256
 // condemned, and an imbalance files a FailureLedger report (with a dump
 // when the flight recorder is on) instead of panicking.
 func (m *Machine) Run() {
-	m.S.Run()
+	if m.kern != nil {
+		m.kern.Run()
+	} else {
+		m.S.Run()
+	}
 	m.checkLedger()
 }
 
 // RunUntil executes the simulation up to a virtual-time horizon.
-func (m *Machine) RunUntil(t sim.Time) { m.S.RunUntil(t) }
+func (m *Machine) RunUntil(t sim.Time) {
+	m.seqOnly("RunUntil")
+	m.S.RunUntil(t)
+}

@@ -40,7 +40,12 @@ func (m *Machine) installFailureHandler(n *Node) {
 	nic := n.NIC
 	id := n.ID
 	nic.OnPanic = func(reason string) {
-		m.failures = append(m.failures, NodeFailure{Node: id, Reason: reason, At: m.S.Now()})
+		// nic.S is the node's own lane, so the timestamp is race-free on a
+		// sharded machine too; the funnel itself serializes internally.
+		at := nic.S.Now()
+		m.mu.Lock()
+		m.failures = append(m.failures, NodeFailure{Node: id, Reason: reason, At: at})
+		m.mu.Unlock()
 		m.reportFailure(FailurePanic, id, reason)
 		nic.Kill()
 	}
@@ -75,6 +80,7 @@ func (r *RAS) Stop() { r.halted = true }
 // three silent samples. Because heartbeats keep the event heap busy, drive
 // the simulation with RunUntil (and Stop the monitor before a final Run).
 func (m *Machine) StartRAS(period sim.Time) *RAS {
+	m.seqOnly("the RAS heartbeat monitor")
 	r := &RAS{
 		m:      m,
 		period: period,

@@ -68,6 +68,7 @@ type Sampler struct {
 // tick only reschedules while other work is pending on the event heap, so
 // Machine.Run still returns — with a final sample taken at quiesce time.
 func (m *Machine) StartSampler(period sim.Time) *Sampler {
+	m.seqOnly("the RAS sampler")
 	if m.sampler != nil {
 		return m.sampler
 	}

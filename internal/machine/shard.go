@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"portals3/internal/fabric"
+	"portals3/internal/model"
+	"portals3/internal/oskernel"
+	"portals3/internal/sim"
+	"portals3/internal/telemetry"
+	"portals3/internal/topo"
+)
+
+// This file assembles sharded machines: the same node components as the
+// classic single-lane machine, but each node built on its lane's simulator
+// against its NodePort, run by the parallel kernel (sim.Kernel) under the
+// fabric's conservative lookahead. A sharded machine with shards=1 is the
+// bit-identical reference for any shard count (DESIGN.md §11); the classic
+// machine remains the reference for the whole-path wire model.
+//
+// Sequential-only features — tracing, the RAS sampler, the stall detector,
+// runtime fault injection — panic on a sharded machine rather than produce
+// racy or shard-dependent results; seqOnly is the single guard.
+
+// NewSharded builds a machine over the given topology whose nodes are
+// partitioned into `shards` parallel event lanes. Nodes are assigned to
+// lanes in contiguous blocks of the topology's Z-major id order, a pure
+// function of (node, shards, total nodes).
+func NewSharded(p model.Params, tp *topo.Topology, shards int) *Machine {
+	kern := sim.NewKernel(shards, fabric.MinHandoffLatency(&p))
+	total := int64(tp.Nodes())
+	laneOf := func(id topo.NodeID) int { return int(int64(id) * int64(shards) / total) }
+	m := &Machine{
+		S:      kern.Lane(0),
+		P:      p,
+		Topo:   tp,
+		OSKind: func(topo.NodeID) oskernel.Kind { return oskernel.Catamount },
+		nodes:  make(map[topo.NodeID]*Node),
+		kern:   kern,
+	}
+	m.cl = fabric.NewCluster(kern, tp, &m.P, laneOf)
+	return m
+}
+
+// Sharded reports whether this machine runs on the parallel kernel.
+func (m *Machine) Sharded() bool { return m.kern != nil }
+
+// ShardKernel returns the parallel kernel (nil on a classic machine), for
+// diagnostics such as the window count.
+func (m *Machine) ShardKernel() *sim.Kernel { return m.kern }
+
+// laneSim returns the simulator a node's components live on.
+func (m *Machine) laneSim(id topo.NodeID) *sim.Sim {
+	if m.kern == nil {
+		return m.S
+	}
+	return m.kern.Lane(m.cl.Lane(id))
+}
+
+// nodePort returns the fabric interface a node's NIC holds.
+func (m *Machine) nodePort(id topo.NodeID) fabric.Port {
+	if m.kern == nil {
+		return m.Fab
+	}
+	return m.cl.Port(id)
+}
+
+// seqOnly panics when a sequential-only feature is used on a sharded
+// machine.
+func (m *Machine) seqOnly(feature string) {
+	if m.kern != nil {
+		panic("machine: " + feature + " is not supported on a sharded machine (use the classic machine.New)")
+	}
+}
+
+// FaultSnapshot returns the machine's fault-ledger counters: the classic
+// fabric's plane, or the sum of a sharded cluster's per-node planes.
+func (m *Machine) FaultSnapshot() (fabric.FaultStats, bool) {
+	if m.kern != nil {
+		return m.cl.FaultSnapshot()
+	}
+	return m.Fab.FaultSnapshot()
+}
+
+// nodeTel returns the telemetry handle a node's components wire to: the
+// machine-wide instance on a classic machine, the node's lane instance on
+// a sharded one.
+func (m *Machine) nodeTel(id topo.NodeID) *telemetry.Telemetry {
+	if m.tels != nil {
+		return m.tels[m.cl.Lane(id)]
+	}
+	return m.tel
+}

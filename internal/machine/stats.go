@@ -56,7 +56,11 @@ func (m *Machine) Stats() Stats {
 			HTWrBusy:   n.Chip.HTWrite.Utilization(),
 		})
 	}
-	out.Fabric = m.Fab.Stats
+	if m.kern != nil {
+		out.Fabric = m.cl.StatsSum()
+	} else {
+		out.Fabric = m.Fab.Stats
+	}
 	return out
 }
 

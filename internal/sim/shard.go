@@ -1,0 +1,238 @@
+// Sharded parallel event kernel: N per-shard event lanes (each a complete
+// Sim with its 4-ary heap and zero-delay ring) advanced in lock-step
+// windows under conservative lookahead — the classic Chandy–Misra/null-
+// message discipline, specialized to a fabric whose minimum cross-shard
+// handoff latency is a known constant.
+//
+// The synchronization protocol, per window:
+//
+//  1. The coordinator drains every cross-lane mailbox, sorts the posts by
+//     (time, source node, source sequence) — keys that depend only on the
+//     simulated workload, never on the shard count — and applies them to
+//     their destination lanes in that order, so each lane's tie-breaking
+//     insertion sequence is identical at any shard count.
+//  2. It computes m, the minimum next-event time across all lanes, and the
+//     window horizon h = m + lookahead − 1.
+//  3. Every lane runs RunUntil(h) in parallel (fork/join over persistent
+//     workers). Within the window a lane may freely schedule more local
+//     events; anything destined for another node goes through Post.
+//  4. Repeat until every lane is empty and no mail is pending.
+//
+// Safety argument: a model registered with lookahead L promises that every
+// cross-node handoff posted while executing an event at time t targets a
+// time strictly greater than t + L − 1 ≥ h (in this repository the fabric's
+// per-hop wire latency plus a non-zero link occupancy provides L =
+// Params.HopLatency). Posts therefore always land beyond the current
+// horizon, no lane ever receives mail in its past, and At's monotonicity
+// panic doubles as the runtime check. Post additionally asserts it.
+//
+// Determinism argument (why shards=1 and shards=N produce bit-identical
+// simulated results): the window sequence depends only on global minimum
+// event times, which the partition does not change; within a window each
+// lane executes only its own nodes' events in (time, insertion-seq) order;
+// and every inter-node handoff — including between nodes that share a lane
+// — travels through the mailbox with shard-invariant sort keys. Induction
+// over windows gives identical per-node event sequences at any shard
+// count. See DESIGN.md §11.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// post is one cross-lane mailbox entry.
+type post struct {
+	at      Time
+	srcNode int32  // simulated node that posted (sort key, shard-invariant)
+	srcSeq  uint64 // that node's post sequence (sort key, shard-invariant)
+	dst     int    // destination lane
+	fn      func()
+}
+
+// Kernel is a sharded parallel event kernel. Build one with NewKernel,
+// schedule initial work on its lanes (Lane), then call Run. Lanes must not
+// be touched by other goroutines while Run executes, except through Post
+// from within lane event handlers.
+type Kernel struct {
+	lanes     []*Sim
+	lookahead Time
+
+	// outbox[src*shards+dst] is the SPSC mailbox from lane src to lane
+	// dst: only lane src's worker appends during a window, only the
+	// coordinator drains at the barrier. Slices are reused — steady-state
+	// posting allocates nothing.
+	outbox  [][]post
+	horizon Time // current window horizon, for the Post safety assert
+
+	batch []post // coordinator scratch for the sorted drain
+
+	// Persistent workers (lanes 1..n-1; lane 0 runs on the coordinator).
+	work []chan Time
+	join chan struct{}
+
+	// Windows counts synchronization windows executed, for diagnostics.
+	Windows uint64
+}
+
+// NewKernel returns a kernel with the given number of lanes. lookahead is
+// the conservative synchronization bound: the minimum virtual-time distance
+// of any cross-node handoff, as registered by the fabric model. It must be
+// positive.
+func NewKernel(shards int, lookahead Time) *Kernel {
+	if shards < 1 {
+		panic("sim: kernel needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: kernel lookahead must be positive")
+	}
+	k := &Kernel{
+		lanes:     make([]*Sim, shards),
+		lookahead: lookahead,
+		outbox:    make([][]post, shards*shards),
+		horizon:   -1,
+	}
+	for i := range k.lanes {
+		k.lanes[i] = New()
+	}
+	return k
+}
+
+// Shards returns the lane count.
+func (k *Kernel) Shards() int { return len(k.lanes) }
+
+// Lookahead returns the synchronization bound.
+func (k *Kernel) Lookahead() Time { return k.lookahead }
+
+// Lane returns lane i's simulator. Model components of a node are built
+// entirely on the node's lane.
+func (k *Kernel) Lane(i int) *Sim { return k.lanes[i] }
+
+// Post schedules fn at absolute time at on lane dst's node state. It must
+// be called from lane src's executing event (or before Run), with srcNode
+// and srcSeq forming a shard-invariant total order over the posting node's
+// handoffs (a per-node counter). The target time must lie beyond the
+// current window horizon — the lookahead contract.
+func (k *Kernel) Post(src, dst int, at Time, srcNode int32, srcSeq uint64, fn func()) {
+	if at <= k.horizon {
+		panic(fmt.Sprintf("sim: cross-shard post at %v violates lookahead window ending %v", at, k.horizon))
+	}
+	i := src*len(k.lanes) + dst
+	k.outbox[i] = append(k.outbox[i], post{at: at, srcNode: srcNode, srcSeq: srcSeq, dst: dst, fn: fn})
+}
+
+// drain applies all pending mailbox posts to their destination lanes in
+// the deterministic (time, source node, source sequence) order.
+func (k *Kernel) drain() int {
+	k.batch = k.batch[:0]
+	for i := range k.outbox {
+		if len(k.outbox[i]) == 0 {
+			continue
+		}
+		k.batch = append(k.batch, k.outbox[i]...)
+		// Clear the closure slots so drained posts are released, keeping
+		// the backing array pooled for the next window.
+		for j := range k.outbox[i] {
+			k.outbox[i][j] = post{}
+		}
+		k.outbox[i] = k.outbox[i][:0]
+	}
+	b := k.batch
+	sort.Slice(b, func(i, j int) bool {
+		if b[i].at != b[j].at {
+			return b[i].at < b[j].at
+		}
+		if b[i].srcNode != b[j].srcNode {
+			return b[i].srcNode < b[j].srcNode
+		}
+		return b[i].srcSeq < b[j].srcSeq
+	})
+	for i := range b {
+		k.lanes[b[i].dst].At(b[i].at, b[i].fn)
+		b[i].fn = nil
+	}
+	return len(b)
+}
+
+// Run executes the sharded simulation to completion: windows advance until
+// every lane is drained and no mail is pending. Like Sim.Run, coroutine
+// processes still blocked at global quiescence are deadlocked and Run
+// panics with a diagnostic.
+func (k *Kernel) Run() {
+	n := len(k.lanes)
+	// With a single scheduling core there is no parallelism to win, only
+	// per-window handoff cost to pay; run the lanes inline. The window
+	// protocol — and therefore every simulated result — is identical.
+	parallel := n > 1 && runtime.GOMAXPROCS(0) > 1
+	if parallel && k.work == nil {
+		k.work = make([]chan Time, n)
+		k.join = make(chan struct{}, n)
+		for i := 1; i < n; i++ {
+			ch := make(chan Time)
+			k.work[i] = ch
+			lane := k.lanes[i]
+			go func() {
+				for h := range ch {
+					lane.RunUntil(h)
+					k.join <- struct{}{}
+				}
+			}()
+		}
+		defer func() {
+			for i := 1; i < n; i++ {
+				close(k.work[i])
+			}
+			k.work = nil
+		}()
+	}
+	for {
+		k.drain()
+		m := Never
+		any := false
+		for _, l := range k.lanes {
+			if at, ok := l.nextAt(); ok {
+				any = true
+				if at < m {
+					m = at
+				}
+			}
+		}
+		if !any {
+			k.horizon = -1
+			if p := k.blockedProcs(); p > 0 {
+				panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked across %d lanes with no pending events or mail", p, n))
+			}
+			return
+		}
+		h := m + k.lookahead - 1
+		k.horizon = h
+		k.Windows++
+		if parallel {
+			for i := 1; i < n; i++ {
+				k.work[i] <- h
+			}
+			k.lanes[0].RunUntil(h)
+			for i := 1; i < n; i++ {
+				<-k.join
+			}
+		} else {
+			for _, l := range k.lanes {
+				l.RunUntil(h)
+			}
+		}
+	}
+}
+
+// blockedProcs sums live coroutine processes across lanes at quiescence.
+func (k *Kernel) blockedProcs() int {
+	total := 0
+	for _, l := range k.lanes {
+		total += l.procs
+	}
+	return total
+}
+
+// Now returns the kernel's clock: every lane shares the same window
+// horizon, so lane 0's time stands for the machine's.
+func (k *Kernel) Now() Time { return k.lanes[0].Now() }

@@ -1,0 +1,61 @@
+// Merging: folding several telemetry instances into one snapshot. Sharded
+// machines give every event lane its own Telemetry so the hot path stays
+// single-goroutine and lock-free; at export time the lanes are merged in
+// lane order into a fresh instance. Counters and histogram buckets are
+// sums, so the merged result is independent of how nodes were partitioned
+// over lanes — the property the differential tests assert.
+package telemetry
+
+// Merge folds another histogram's observations into h. Merging is exact:
+// counts, sums and per-bucket tallies add, min/max combine, so a merged
+// histogram is indistinguishable from one that saw every observation
+// itself.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range o.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// MergeFrom folds another registry into r: counters add, histograms merge,
+// gauges take the other registry's value when it is non-zero (each gauge
+// is owned by exactly one node, hence one lane, so at most one source has
+// a value). Instruments missing from r are created.
+func (r *Registry) MergeFrom(o *Registry) {
+	for _, m := range o.Metrics() {
+		switch m.Kind {
+		case KindCounter:
+			r.lookup(m.Name, KindCounter, m.Labels).C.Add(m.C.Value())
+		case KindGauge:
+			g := r.lookup(m.Name, KindGauge, m.Labels).G
+			if v := m.G.Value(); v != 0 {
+				g.Set(v)
+			}
+		case KindHistogram:
+			r.lookup(m.Name, KindHistogram, m.Labels).H.Merge(m.H)
+		}
+	}
+}
+
+// Merged builds one telemetry instance from per-lane parts, merged in
+// order. Series are not carried over — the RAS sampler is a sequential-
+// machine feature and sharded machines reject it.
+func Merged(parts ...*Telemetry) *Telemetry {
+	out := New()
+	for _, p := range parts {
+		if p != nil {
+			out.Reg.MergeFrom(p.Reg)
+		}
+	}
+	return out
+}

@@ -93,4 +93,52 @@ if [ "$fail" != "0" ]; then
     exit 1
 fi
 echo "check.sh: $matched benchmarks checked against baselines"
+
+echo "== sharded kernel: 512-node torus halo (BenchmarkTorusHalo*) =="
+# Two arms of the identical simulated workload: shards=1 (sequential
+# reference) and shards=4. Simulated results are bit-identical by
+# construction (TestTorusDifferential enforces it); here we gate the
+# host-side costs: allocs/op of the sharded arm must stay within 5% of
+# sequential always, and on a host with >=4 cores the sharded arm must be
+# at least 2x faster in wall-clock. On smaller hosts the kernel runs its
+# lanes inline (no parallelism exists to win) and the speedup gate is
+# meaningless, so it is skipped with a notice.
+if ! halo_raw=$(go test -run xxx -bench 'TorusHalo(Seq|Shard4)$' \
+    -benchtime 1x -benchmem . 2>&1); then
+    echo "FAIL: torus halo benchmark run exited non-zero:"
+    echo "$halo_raw"
+    exit 1
+fi
+halo=$(echo "$halo_raw" | grep '^BenchmarkTorusHalo' || true)
+echo "$halo"
+seq_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloSeq/ {print $3}')
+seq_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloSeq/ {print $(NF-1)}')
+par_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4/ {print $3}')
+par_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4/ {print $(NF-1)}')
+if [ -z "$seq_ns" ] || [ -z "$par_ns" ] || [ -z "$seq_allocs" ] || [ -z "$par_allocs" ]; then
+    echo "FAIL: could not parse torus halo benchmark output; raw output was:"
+    echo "$halo_raw"
+    exit 1
+fi
+alloc_ok=$(awk -v a="$par_allocs" -v b="$seq_allocs" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; print (d <= 0.05 * b) ? 1 : 0 }')
+if [ "$alloc_ok" != "1" ]; then
+    echo "FAIL: sharded halo allocs/op = $par_allocs, sequential = $seq_allocs (>5% apart)"
+    echo "check.sh: sharded kernel allocation regression"
+    exit 1
+fi
+echo "check.sh: halo allocs/op within 5% (seq $seq_allocs, 4 shards $par_allocs)"
+cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cpus" -ge 4 ]; then
+    speedup_ok=$(awk -v s="$seq_ns" -v p="$par_ns" 'BEGIN { print (s >= 2.0 * p) ? 1 : 0 }')
+    ratio=$(awk -v s="$seq_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
+    if [ "$speedup_ok" != "1" ]; then
+        echo "FAIL: 4-shard halo speedup ${ratio}x (seq $seq_ns ns/op, 4 shards $par_ns ns/op); gate is 2.0x"
+        echo "check.sh: sharded kernel speedup regression"
+        exit 1
+    fi
+    echo "check.sh: halo 4-shard speedup ${ratio}x (gate 2.0x)"
+else
+    echo "check.sh: host has $cpus core(s); the 2x speedup gate needs >=4, skipped (alloc gate still enforced)"
+fi
 echo "check.sh: all green"
