@@ -349,6 +349,34 @@ func BenchmarkTorusHaloSeq(b *testing.B) { benchTorusHalo(b, 1) }
 // arm (enforced by TestTorusDifferential); only wall-clock may differ.
 func BenchmarkTorusHaloShard4(b *testing.B) { benchTorusHalo(b, 4) }
 
+// BenchmarkTorusHaloShard4SamplerOn is the observed sharded arm: four
+// lanes with every periodic observer armed — telemetry, the RAS sampler
+// (counter + link-contention series), the stall detector, the heartbeat
+// monitor and the flight recorder. Tracing stays off: it allocates per
+// wire record by design and is not a production-on instrument. The delta
+// against BenchmarkTorusHaloShard4 is the price of lane-local observation
+// on the hot path; scripts/check.sh gates it (BENCH_substrate.json,
+// torus_halo section).
+func BenchmarkTorusHaloShard4SamplerOn(b *testing.B) {
+	b.ReportAllocs()
+	cfg := experiments.DefaultTorusConfig()
+	cfg.Shards = 4
+	cfg.Telemetry = true
+	cfg.FlightRec = true
+	cfg.SamplePeriod = 20 * sim.Microsecond
+	cfg.StallWindow = 400 * sim.Microsecond
+	cfg.RASPeriod = 50 * sim.Microsecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TorusHalo(cfg)
+		if len(r.Errors) > 0 {
+			b.Fatalf("observed halo run failed: %s", r.Errors[0])
+		}
+		b.ReportMetric(float64(r.FinishPs)/1e6, "sim_us")
+		b.ReportMetric(float64(r.Windows), "windows")
+	}
+}
+
 // BenchmarkAblationInlineOptimization removes the ≤12-byte
 // payload-in-header path (§6) and reports the small-message cost.
 func BenchmarkAblationInlineOptimization(b *testing.B) {

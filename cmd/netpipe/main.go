@@ -37,11 +37,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"portals3/internal/experiments"
@@ -51,6 +53,7 @@ import (
 	"portals3/internal/mpi"
 	"portals3/internal/netpipe"
 	"portals3/internal/sim"
+	"portals3/internal/telemetry"
 	"portals3/internal/trace"
 )
 
@@ -152,7 +155,7 @@ func main() {
 		if *seq {
 			n = 1
 		}
-		runTorus(p, *dim, n, *gbn, *stats, *telemetryOut)
+		runTorus(p, *dim, n, *gbn, *stats, *telemetryOut, *sample)
 	case *fig != "":
 		runFigures(p, *fig, *checks)
 	case *series != "":
@@ -184,7 +187,10 @@ func main() {
 }
 
 // runTorus drives the machine-scale halo exchange on the sharded kernel.
-func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut string) {
+// With telemetry on, the RAS sampler runs too (lane-local, merged at
+// snapshot time) so the export carries the per-link contention series, and
+// the per-hop-count latency-under-load summary prints after the run.
+func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut string, sampleUs int) {
 	cfg := experiments.DefaultTorusConfig()
 	cfg.Dim = dim
 	cfg.Shards = shards
@@ -192,6 +198,9 @@ func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut str
 	cfg.Faults = p.Faults
 	cfg.FaultSeed = p.FaultSeed
 	cfg.Telemetry = telemetryOut != ""
+	if cfg.Telemetry && sampleUs > 0 {
+		cfg.SamplePeriod = sim.Time(sampleUs) * sim.Microsecond
+	}
 	r := experiments.TorusHalo(cfg)
 	fmt.Printf("# torus halo: %d nodes (%dx%dx%d, radius %d), %d KB faces, %d steps, shards=%d\n",
 		r.Nodes, dim, dim, dim, cfg.Radius, cfg.Bytes/1024, cfg.Steps, r.Shards)
@@ -209,6 +218,7 @@ func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut str
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		renderTorusLoad(r.TelemetryJSON)
 		fmt.Printf("telemetry written to %s (render with p3stat)\n", telemetryOut)
 	}
 	for _, e := range r.Errors {
@@ -216,6 +226,88 @@ func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut str
 	}
 	if len(r.Errors) > 0 {
 		os.Exit(1)
+	}
+}
+
+// renderTorusLoad prints the latency-under-load summary from the run's
+// telemetry export: per routing distance, delivered messages with their
+// end-to-end latency next to the link-level head-of-line blocking their
+// traversals saw.
+func renderTorusLoad(telemetryJSON []byte) {
+	e, err := telemetry.ReadJSON(bytes.NewReader(telemetryJSON))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	type hopRow struct {
+		msgs, traversals uint64
+		e2eMean, e2eP99  float64
+		holMean, holP99  float64
+	}
+	rows := make(map[int]*hopRow)
+	hopOf := func(labels string) int {
+		const key = `hops="`
+		i := strings.Index(labels, key)
+		if i < 0 {
+			return -1
+		}
+		rest := labels[i+len(key):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			return -1
+		}
+		n := 0
+		for _, c := range rest[:j] {
+			if c < '0' || c > '9' {
+				return -1
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n
+	}
+	row := func(labels string) *hopRow {
+		h := hopOf(labels)
+		if h < 0 {
+			return nil
+		}
+		if rows[h] == nil {
+			rows[h] = &hopRow{}
+		}
+		return rows[h]
+	}
+	mean := func(m telemetry.ExportMetric) float64 {
+		if m.Count == 0 {
+			return 0
+		}
+		return float64(m.Sum) / float64(m.Count)
+	}
+	for _, m := range e.Metrics {
+		switch m.Name {
+		case "portals_msg_e2e_by_hops_ps":
+			if r := row(m.Labels); r != nil {
+				r.msgs, r.e2eMean, r.e2eP99 = m.Count, mean(m), float64(m.P99)
+			}
+		case "fabric_link_hol_wait_by_hops_ps":
+			if r := row(m.Labels); r != nil {
+				r.traversals, r.holMean, r.holP99 = m.Count, mean(m), float64(m.P99)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	hops := make([]int, 0, len(rows))
+	for h := range rows {
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	fmt.Printf("\nlatency under load by hop count:\n")
+	fmt.Printf("  %4s %8s %12s %12s %12s %12s %12s\n",
+		"hops", "msgs", "e2e-mean", "e2e-p99", "traversals", "hol-mean", "hol-p99")
+	for _, h := range hops {
+		r := rows[h]
+		fmt.Printf("  %4d %8d %10.3fus %10.3fus %12d %10.3fus %10.3fus\n",
+			h, r.msgs, r.e2eMean/1e6, r.e2eP99/1e6, r.traversals, r.holMean/1e6, r.holP99/1e6)
 	}
 }
 

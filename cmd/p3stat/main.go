@@ -114,6 +114,8 @@ func render(e *telemetry.Export, path string) {
 	}
 
 	renderOccupancy(e)
+	renderLinkContention(e)
+	renderHopLatency(e)
 
 	if len(scalars) > 0 {
 		fmt.Printf("\ncounters and gauges:\n")
@@ -152,27 +154,197 @@ type occRow struct {
 	evq, evqHigh    float64
 }
 
-// nodeOf extracts the node id from a rendered label set (`node="3"`),
-// returning -1 when absent.
-func nodeOf(labels string) int {
-	const key = `node="`
-	i := strings.Index(labels, key)
+// labelVal extracts one label's value from a rendered label set
+// (`dir="X+",node="3"`), returning "" when absent.
+func labelVal(labels, key string) string {
+	marker := key + `="`
+	i := strings.Index(labels, marker)
 	if i < 0 {
-		return -1
+		return ""
 	}
-	rest := labels[i+len(key):]
+	rest := labels[i+len(marker):]
 	j := strings.IndexByte(rest, '"')
 	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// labelInt extracts one numeric label value, returning -1 when absent or
+// non-numeric.
+func labelInt(labels, key string) int {
+	v := labelVal(labels, key)
+	if v == "" {
 		return -1
 	}
 	n := 0
-	for _, c := range rest[:j] {
+	for _, c := range v {
 		if c < '0' || c > '9' {
 			return -1
 		}
 		n = n*10 + int(c-'0')
 	}
 	return n
+}
+
+// nodeOf extracts the node id from a rendered label set (`node="3"`),
+// returning -1 when absent.
+func nodeOf(labels string) int { return labelInt(labels, "node") }
+
+// linkRow is one directed link's contention stats assembled from the
+// sampler's utilization series and watermark gauges.
+type linkRow struct {
+	node      int
+	dir       string
+	util      float64 // peak sampled window utilization
+	queueHigh float64 // queue-depth high-water mark
+	waitPs    float64 // accumulated head-of-line blocking
+}
+
+// renderLinkContention assembles the per-link contention table: the
+// busiest directed links by peak sampled window utilization (the last
+// window usually covers the drain to quiescence and reads idle), with
+// their queue-depth watermarks and accumulated head-of-line blocking
+// time.
+func renderLinkContention(e *telemetry.Export) {
+	rows := make(map[string]*linkRow)
+	row := func(labels string) *linkRow {
+		node, dir := nodeOf(labels), labelVal(labels, "dir")
+		if node < 0 || dir == "" {
+			return nil
+		}
+		k := fmt.Sprintf("%d/%s", node, dir)
+		r := rows[k]
+		if r == nil {
+			r = &linkRow{node: node, dir: dir}
+			rows[k] = r
+		}
+		return r
+	}
+	for _, s := range e.Series {
+		if s.Name != "fabric_link_utilization" || len(s.Values) == 0 {
+			continue
+		}
+		if r := row(s.Labels); r != nil {
+			for _, v := range s.Values {
+				if v > r.util {
+					r.util = v
+				}
+			}
+		}
+	}
+	for _, m := range e.Metrics {
+		switch m.Name {
+		case "fabric_link_hol_wait_ps":
+			if r := row(m.Labels); r != nil {
+				r.waitPs = m.Value
+			}
+		case "fabric_link_queue_high":
+			if r := row(m.Labels); r != nil {
+				r.queueHigh = m.Value
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	all := make([]*linkRow, 0, len(rows))
+	for _, r := range rows {
+		all = append(all, r)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.util != b.util {
+			return a.util > b.util
+		}
+		if a.waitPs != b.waitPs {
+			return a.waitPs > b.waitPs
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.dir < b.dir
+	})
+	const topN = 16
+	shown := all
+	if len(shown) > topN {
+		shown = shown[:topN]
+	}
+	fmt.Printf("\nlink contention (top %d of %d directed links by peak utilization):\n",
+		len(shown), len(all))
+	fmt.Printf("  %6s %5s %9s %10s %14s\n", "node", "dir", "peak-util", "queue-high", "hol-wait")
+	for _, r := range shown {
+		fmt.Printf("  %6d %5s %8.1f%% %10g %12.3fus\n",
+			r.node, r.dir, 100*r.util, r.queueHigh, r.waitPs/1e6)
+	}
+}
+
+// hopRow pairs the two by-hop-count histograms: link-level head-of-line
+// blocking and end-to-end message latency at each routing distance.
+type hopRow struct {
+	hops                    int
+	travCount, msgCount     uint64
+	holMean, holP99         float64
+	e2eMean, e2eP50, e2eP99 float64
+}
+
+// renderHopLatency assembles the latency-under-load view: for each hop
+// count, link traversals with their head-of-line blocking and delivered
+// messages with their end-to-end latency.
+func renderHopLatency(e *telemetry.Export) {
+	rows := make(map[int]*hopRow)
+	row := func(labels string) *hopRow {
+		h := labelInt(labels, "hops")
+		if h < 0 {
+			return nil
+		}
+		r := rows[h]
+		if r == nil {
+			r = &hopRow{hops: h}
+			rows[h] = r
+		}
+		return r
+	}
+	mean := func(m telemetry.ExportMetric) float64 {
+		if m.Count == 0 {
+			return 0
+		}
+		return float64(m.Sum) / float64(m.Count)
+	}
+	for _, m := range e.Metrics {
+		switch m.Name {
+		case "fabric_link_hol_wait_by_hops_ps":
+			if r := row(m.Labels); r != nil {
+				r.travCount = m.Count
+				r.holMean = mean(m)
+				r.holP99 = float64(m.P99)
+			}
+		case "portals_msg_e2e_by_hops_ps":
+			if r := row(m.Labels); r != nil {
+				r.msgCount = m.Count
+				r.e2eMean = mean(m)
+				r.e2eP50 = float64(m.P50)
+				r.e2eP99 = float64(m.P99)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	hops := make([]int, 0, len(rows))
+	for h := range rows {
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	fmt.Printf("\nlatency under load by hop count:\n")
+	fmt.Printf("  %4s %10s %12s %12s %10s %12s %12s %12s\n",
+		"hops", "traversals", "hol-mean", "hol-p99", "msgs", "e2e-mean", "e2e-p50", "e2e-p99")
+	for _, h := range hops {
+		r := rows[h]
+		fmt.Printf("  %4d %10d %10.3fus %10.3fus %10d %10.3fus %10.3fus %10.3fus\n",
+			r.hops, r.travCount, r.holMean/1e6, r.holP99/1e6,
+			r.msgCount, r.e2eMean/1e6, r.e2eP50/1e6, r.e2eP99/1e6)
+	}
 }
 
 // renderOccupancy assembles the firmware occupancy table from the sampler's

@@ -45,6 +45,15 @@ type TorusConfig struct {
 
 	Telemetry bool
 	FlightRec bool
+	Trace     bool // record the wire/firmware timeline (lane-local, merged)
+
+	// Periodic observers, each off when zero: the RAS sampler (counter and
+	// link-contention series), the stall detector window, and the heartbeat
+	// monitor period. On sharded runs all three fire at the kernel's
+	// canonical barrier ticks, so their artifacts reshard bit-identically.
+	SamplePeriod sim.Time
+	StallWindow  sim.Time
+	RASPeriod    sim.Time
 }
 
 // DefaultTorusConfig is the benchmark shape: 512 nodes, 1 KB faces,
@@ -64,6 +73,7 @@ type TorusResult struct {
 	StatsText     string // machine counter table
 	TelemetryJSON []byte // merged telemetry snapshot (Telemetry on)
 	DumpBytes     []byte // end-of-run flight-recorder dump (FlightRec on)
+	TraceBytes    []byte // merged Chrome trace (Trace on)
 	FaultsLine    string // summed fault-ledger counters (faults configured)
 
 	// Errors lists halo verification failures; empty on a correct run.
@@ -84,6 +94,8 @@ func (r TorusResult) Digest() []byte {
 	b.Write(r.TelemetryJSON)
 	b.WriteString("--- dump\n")
 	b.Write(r.DumpBytes)
+	b.WriteString("--- trace\n")
+	b.Write(r.TraceBytes)
 	return b.Bytes()
 }
 
@@ -128,6 +140,9 @@ func TorusHalo(cfg TorusConfig) TorusResult {
 	}
 	if cfg.FlightRec {
 		m.EnableFlightRecorder(0)
+	}
+	if cfg.Trace {
+		m.EnableTracing()
 	}
 
 	nodes := tp.Nodes()
@@ -215,6 +230,18 @@ func TorusHalo(cfg TorusConfig) TorusResult {
 		}
 		apps[id] = app
 	}
+	// Periodic observers start once every node exists (the heartbeat driver
+	// and monitor capture the instantiated node set).
+	if cfg.SamplePeriod > 0 {
+		m.StartSampler(cfg.SamplePeriod)
+	}
+	if cfg.StallWindow > 0 {
+		m.StartStallDetector(cfg.StallWindow)
+	}
+	var ras *machine.RAS
+	if cfg.RASPeriod > 0 {
+		ras = m.StartRAS(cfg.RASPeriod)
+	}
 	m.Run()
 
 	res := TorusResult{
@@ -235,11 +262,23 @@ func TorusHalo(cfg TorusConfig) TorusResult {
 	if cfg.FlightRec {
 		res.DumpBytes = m.TakeDump("end of run").Bytes()
 	}
+	if cfg.Trace {
+		var trb bytes.Buffer
+		if err := m.Trace().WriteChrome(&trb); err != nil {
+			panic(err)
+		}
+		res.TraceBytes = trb.Bytes()
+	}
 	if st, ok := m.FaultSnapshot(); ok {
 		res.FaultsLine = st.String()
 	}
 	for _, r := range m.Reports() {
 		res.Errors = append(res.Errors, "failure report: "+r.String())
+	}
+	if ras != nil {
+		for _, f := range ras.Dead() {
+			res.Errors = append(res.Errors, "ras: "+f.String())
+		}
 	}
 
 	// Verify every received face against the sender's pure pattern.

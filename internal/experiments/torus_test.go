@@ -7,15 +7,22 @@ import (
 	"time"
 
 	"portals3/internal/model"
+	"portals3/internal/sim"
 )
 
 // diffConfig is the differential-test shape: small enough to run many
 // seeds, big enough to route multi-hop and cross every lane boundary.
+// Every observer is on — telemetry, flight recorder, tracing, the RAS
+// sampler, the stall detector and the heartbeat monitor — so the digest
+// covers every artifact the lane-local observers merge.
 func diffConfig(shards int, seed int64) TorusConfig {
 	return TorusConfig{
 		Dim: 4, Bytes: 256, Steps: 2, Radius: 2, Shards: shards,
 		FaultSeed: seed, // seeds the per-node fault PRNGs even with no rules
-		Telemetry: true, FlightRec: true,
+		Telemetry: true, FlightRec: true, Trace: true,
+		SamplePeriod: 20 * sim.Microsecond,
+		StallWindow:  400 * sim.Microsecond,
+		RASPeriod:    50 * sim.Microsecond,
 	}
 }
 
@@ -69,7 +76,7 @@ func TestTorusDifferentialFaults(t *testing.T) {
 	if testing.Short() {
 		seeds = seeds[:2]
 	}
-	shardCounts := []int{2, 4}
+	shardCounts := []int{2, 3, 4}
 	for _, seed := range seeds {
 		cfg := diffConfig(1, 0x5eed0+seed)
 		cfg.GoBackN = true

@@ -127,6 +127,11 @@ type Fabric struct {
 	routes map[[2]topo.NodeID][]topo.Dir // routing is fixed-path, so cache per pair
 	nextID uint64
 
+	// Link-contention meters (linkstats.go), live only while Tel is set.
+	meters    map[linkKey]*LinkMeter
+	meterList []*LinkMeter
+	holByHops []*telemetry.Histogram
+
 	// chunkFree recycles chunk carriers and their payload buffers between
 	// messages. A chunk cycles sender → wire → receiver and comes back via
 	// RecycleChunk once the receiver has consumed the bytes; pooling keeps
@@ -346,11 +351,12 @@ func (f *Fabric) transmissions(nbytes int) int {
 func (f *Fabric) traverse(src, dst topo.NodeID, nbytes int, deliver func()) {
 	t := f.S.Now() + f.P.InjectLatency
 	cur := src
-	for _, d := range f.route(src, dst) {
+	route := f.route(src, dst)
+	for _, d := range route {
 		k := f.transmissions(nbytes)
 		dur := sim.BytesAt(int64(nbytes), f.P.LinkBps)
 		occupancy := sim.Time(k)*dur + sim.Time(k-1)*f.P.LinkRetryDelay
-		t = f.link(cur, d).SubmitAfter(t, occupancy, nil) + f.P.HopLatency
+		t = f.linkReserve(cur, d, t, occupancy, len(route)) + f.P.HopLatency
 		next, ok := f.Topo.Neighbor(cur, d)
 		if !ok {
 			panic("fabric: route fell off the mesh")
@@ -405,7 +411,10 @@ func (f *Fabric) getSendOp() *sendOp {
 
 func (s *sendOp) headerTaken() {
 	f, m := s.f, s.m
-	m.Rec.Stamp(telemetry.StampWire, f.S.Now())
+	if m.Rec != nil {
+		m.Rec.Stamp(telemetry.StampWire, f.S.Now())
+		m.Rec.SetHops(len(f.route(m.Src, m.Dst)))
+	}
 	if m.OnInjected != nil {
 		m.OnInjected()
 	}

@@ -1,0 +1,182 @@
+// Link-contention metering: the per-link observability plane over the
+// fabric's serial link servers. The paper's performance story is about
+// where microseconds go; at machine scale the answer is often "queued
+// behind someone else's traffic on a shared link", which the aggregate
+// counters cannot show. A LinkMeter tracks, per directed link:
+//
+//   - head-of-line blocking time — how long each reservation waited behind
+//     earlier traffic before its own occupancy began, accumulated on the
+//     link and also attributed to the blocked message's hop count
+//     (fabric_link_hol_wait_by_hops_ps), connecting contention to the
+//     latency-under-load curves per distance;
+//   - the queue-depth high-water mark — the most reservations outstanding
+//     (queued or in service) behind the link at any admission;
+//   - windowed utilization — the busy-time fraction per sample window,
+//     generalizing the end-of-run Fabric.LinkUtilization to a time series.
+//
+// Meters exist only while telemetry is enabled (one pointer test per
+// reservation otherwise) and live on the lane that owns the link, so the
+// hot path stays single-goroutine and lock-free; the RAS sampler reads them
+// at canonical barrier ticks and the per-lane series/gauges merge like
+// every other telemetry artifact (each directed link is owned by exactly
+// one lane).
+package fabric
+
+import (
+	"portals3/internal/sim"
+	"portals3/internal/telemetry"
+	"portals3/internal/topo"
+)
+
+// LinkMeter is the contention state of one directed link.
+type LinkMeter struct {
+	Node topo.NodeID
+	Dir  topo.Dir
+	sv   *sim.Server
+
+	// WaitPs accumulates head-of-line blocking: virtual time reservations
+	// spent waiting behind earlier traffic before their occupancy began.
+	WaitPs sim.Time
+	// QueueHigh is the high-water mark of reservations outstanding (queued
+	// or in service) at any admission.
+	QueueHigh int
+
+	// done is a ring of outstanding completion times; entries at or before
+	// an arriving reservation's start have drained and pop off. Steady
+	// state allocates nothing once the ring has grown to the link's peak
+	// backlog.
+	done  []sim.Time
+	head  int
+	count int
+
+	// Sampler state: the busy integral at the previous sample, and the
+	// instruments bound on first sample.
+	lastBusy sim.Time
+	lastT    sim.Time
+	util     *telemetry.Series
+	waitG    *telemetry.Gauge
+	depthG   *telemetry.Gauge
+}
+
+// note records one reservation: it arrived (was free to start) at arrive,
+// found the link free at free, and will complete at done.
+func (mt *LinkMeter) note(arrive, free, done sim.Time) {
+	if w := free - arrive; w > 0 {
+		mt.WaitPs += w
+	}
+	for mt.count > 0 && mt.done[mt.head] <= arrive {
+		mt.head++
+		if mt.head == len(mt.done) {
+			mt.head = 0
+		}
+		mt.count--
+	}
+	if mt.count == len(mt.done) {
+		grown := make([]sim.Time, 2*len(mt.done)+4)
+		for i := 0; i < mt.count; i++ {
+			grown[i] = mt.done[(mt.head+i)%len(mt.done)]
+		}
+		mt.done = grown
+		mt.head = 0
+	}
+	mt.done[(mt.head+mt.count)%len(mt.done)] = done
+	mt.count++
+	if mt.count > mt.QueueHigh {
+		mt.QueueHigh = mt.count
+	}
+}
+
+// Sample appends one point to the meter's utilization series and refreshes
+// its watermark gauges, binding the instruments on first use. Called by the
+// machine's RAS sampler with the canonical sample time; tel is the lane's
+// telemetry instance.
+func (mt *LinkMeter) Sample(tel *telemetry.Telemetry, now sim.Time) {
+	if mt.util == nil {
+		dl := telemetry.DirLabel(mt.Dir.String())
+		nl := telemetry.NodeLabel(int(mt.Node))
+		mt.util = tel.SeriesFor("fabric_link_utilization", dl, nl)
+		mt.waitG = tel.Reg.Gauge("fabric_link_hol_wait_ps", dl, nl)
+		mt.depthG = tel.Reg.Gauge("fabric_link_queue_high", dl, nl)
+	}
+	busy := mt.sv.BusyBy(now)
+	var u float64
+	if dt := now - mt.lastT; dt > 0 {
+		u = float64(busy-mt.lastBusy) / float64(dt)
+		if u < 0 {
+			u = 0
+		} else if u > 1 {
+			u = 1
+		}
+	}
+	mt.util.Append(now, u)
+	mt.lastBusy = busy
+	mt.lastT = now
+	mt.waitG.Set(float64(mt.WaitPs))
+	mt.depthG.Set(float64(mt.QueueHigh))
+}
+
+// Utilization returns the link's lifetime busy fraction at time now.
+func (mt *LinkMeter) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(mt.sv.BusyBy(now)) / float64(now)
+}
+
+// meter returns (creating on first use) the contention meter for the
+// directed link (node, d) backed by server sv.
+func (f *Fabric) meter(node topo.NodeID, d topo.Dir, sv *sim.Server) *LinkMeter {
+	k := linkKey{node, d}
+	if mt, ok := f.meters[k]; ok {
+		return mt
+	}
+	if f.meters == nil {
+		f.meters = make(map[linkKey]*LinkMeter)
+	}
+	mt := &LinkMeter{Node: node, Dir: d, sv: sv}
+	f.meters[k] = mt
+	f.meterList = append(f.meterList, mt)
+	return mt
+}
+
+// Meters returns every live link meter in creation order — first
+// reservation order on this fabric's lane, which is deterministic. Empty
+// until telemetry is enabled.
+func (f *Fabric) Meters() []*LinkMeter { return f.meterList }
+
+// holHist returns (caching) the head-of-line blocking histogram for
+// messages routed hops links far.
+func (f *Fabric) holHist(hops int) *telemetry.Histogram {
+	for hops >= len(f.holByHops) {
+		f.holByHops = append(f.holByHops, nil)
+	}
+	if f.holByHops[hops] == nil {
+		f.holByHops[hops] = f.Tel.Reg.Histogram("fabric_link_hol_wait_by_hops_ps", telemetry.HopsLabel(hops))
+	}
+	return f.holByHops[hops]
+}
+
+// linkReserve reserves the directed link leaving node in direction d for
+// occupancy starting no earlier than t and returns the completion time.
+// With telemetry enabled it also meters contention: every reservation
+// observes its head-of-line wait (zero included, so counts equal
+// traversals) into the hop-count histogram, accumulates it on the link,
+// and updates the queue-depth watermark.
+func (f *Fabric) linkReserve(node topo.NodeID, d topo.Dir, t, occupancy sim.Time, hops int) sim.Time {
+	sv := f.link(node, d)
+	if f.Tel == nil {
+		return sv.SubmitAfter(t, occupancy, nil)
+	}
+	arrive := t
+	if now := f.S.Now(); arrive < now {
+		arrive = now
+	}
+	wait := sv.FreeAt() - arrive
+	if wait < 0 {
+		wait = 0
+	}
+	done := sv.SubmitAfter(t, occupancy, nil)
+	f.meter(node, d, sv).note(arrive, arrive+wait, done)
+	f.holHist(hops).Observe(int64(wait))
+	return done
+}

@@ -25,6 +25,7 @@ import (
 	"portals3/internal/sim"
 	"portals3/internal/telemetry"
 	"portals3/internal/topo"
+	"portals3/internal/trace"
 	"portals3/internal/wire"
 )
 
@@ -142,6 +143,15 @@ func (cl *Cluster) Lane(id topo.NodeID) int { return cl.laneOf[id] }
 // SetTelemetry attaches one lane's telemetry handle (per-lane instances
 // keep the hot path lock-free; the machine merges them at snapshot time).
 func (cl *Cluster) SetTelemetry(lane int, tel *telemetry.Telemetry) { cl.lanes[lane].Tel = tel }
+
+// SetTrace attaches one lane's tracer; the hopwise transport records wire
+// events through it. Like telemetry, per-lane instances are merged — via
+// trace.Merged — at snapshot time.
+func (cl *Cluster) SetTrace(lane int, tr *trace.Tracer) { cl.lanes[lane].Trace = tr }
+
+// LaneFabric returns lane i's fabric instance (stats, link meters), for
+// the machine's lane-local observers.
+func (cl *Cluster) LaneFabric(i int) *Fabric { return cl.lanes[i] }
 
 // StatsSum aggregates the per-lane fabric counters. Injection counts land
 // on the sender's lane and deliveries on the receiver's, so the sums are
@@ -274,9 +284,16 @@ func (pt *NodePort) SendChunk(c *Chunk) {
 // so flow control is destination-side in the hopwise model.
 func (pt *NodePort) launchHeader(m *Message) {
 	now := pt.f.S.Now()
-	m.Rec.Stamp(telemetry.StampWire, now)
+	if m.Rec != nil {
+		m.Rec.Stamp(telemetry.StampWire, now)
+		m.Rec.SetHops(pt.f.Topo.Hops(m.Src, m.Dst))
+	}
 	if m.OnInjected != nil {
 		m.OnInjected()
+	}
+	if pt.f.Trace.Enabled() {
+		pt.f.Trace.Instant(int(m.Src), trace.TrackWire, "net", "tx "+m.Hdr.Type.String(), now,
+			map[string]interface{}{"msg": m.ID, "dst": m.Dst, "len": m.PayloadLen + len(m.Inline)})
 	}
 	if m.Src == m.Dst {
 		// Loopback still pays NIC injection + ejection, entirely on-lane.
@@ -289,7 +306,7 @@ func (pt *NodePort) launchHeader(m *Message) {
 // stepHeader executes the walk at the current node: reserve the outgoing
 // link, then hand the walker to the next router through the mailbox.
 func (pt *NodePort) stepHeader(m *Message, t sim.Time) {
-	next, t2 := pt.hop(m.Dst, t, int64(pt.f.P.PacketBytes))
+	next, t2 := pt.hop(m.Dst, t, int64(pt.f.P.PacketBytes), pt.f.Topo.Hops(m.Src, m.Dst))
 	np := pt.cl.ports[next]
 	if next == m.Dst {
 		pt.post(np, t2+pt.f.P.InjectLatency, func() { np.recvHeader(m) })
@@ -312,7 +329,7 @@ func (pt *NodePort) launchChunk(c *Chunk) {
 }
 
 func (pt *NodePort) stepChunk(c *Chunk, t sim.Time) {
-	next, t2 := pt.hop(c.Msg.Dst, t, int64(len(c.Data)))
+	next, t2 := pt.hop(c.Msg.Dst, t, int64(len(c.Data)), pt.f.Topo.Hops(c.Msg.Src, c.Msg.Dst))
 	np := pt.cl.ports[next]
 	if next == c.Msg.Dst {
 		pt.post(np, t2+pt.f.P.InjectLatency, func() { np.recvChunk(c) })
@@ -325,14 +342,14 @@ func (pt *NodePort) stepChunk(c *Chunk, t sim.Time) {
 // time t and returns the neighbor plus the arrival time there. Links are
 // owned by the lane of the node they leave, so contention is resolved in
 // local event order — per-hop, as on the real router.
-func (pt *NodePort) hop(dst topo.NodeID, t sim.Time, nbytes int64) (topo.NodeID, sim.Time) {
+func (pt *NodePort) hop(dst topo.NodeID, t sim.Time, nbytes int64, hops int) (topo.NodeID, sim.Time) {
 	f := pt.f
 	d, ok := f.Topo.NextHop(pt.node, dst)
 	if !ok {
 		panic("fabric: hop walk already at destination")
 	}
 	occupancy := sim.BytesAt(nbytes, f.P.LinkBps)
-	t2 := f.link(pt.node, d).SubmitAfter(t, occupancy, nil) + f.P.HopLatency
+	t2 := f.linkReserve(pt.node, d, t, occupancy, hops) + f.P.HopLatency
 	next, ok := f.Topo.Neighbor(pt.node, d)
 	if !ok {
 		panic("fabric: route fell off the mesh")
@@ -351,6 +368,10 @@ func (pt *NodePort) recvHeader(m *Message) {
 		if pt.cl.faulty {
 			pt.noteToSource(m, (*FaultPlane).noteDelivered)
 		}
+		if f.Trace.Enabled() {
+			f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx hdr "+m.Hdr.Type.String(), f.S.Now(),
+				map[string]interface{}{"msg": m.ID, "src": m.Src})
+		}
 		ep.HeaderArrived(m)
 		if m.PayloadLen == 0 {
 			f.Stats.Delivered++
@@ -365,6 +386,11 @@ func (pt *NodePort) recvChunk(c *Chunk) {
 		ep.ChunkArrived(c)
 		if c.Last {
 			f.Stats.Delivered++
+			if f.Trace.Enabled() {
+				m := c.Msg
+				f.Trace.Instant(int(m.Dst), trace.TrackWire, "net", "rx last chunk", f.S.Now(),
+					map[string]interface{}{"msg": m.ID, "src": m.Src})
+			}
 		}
 	})
 }

@@ -69,19 +69,28 @@ func (m *Machine) Reports() []FailureReport {
 	return append([]FailureReport(nil), m.reports...)
 }
 
-// reportFailure is the funnel: record the report and, when the flight
-// recorder is running, attach a full machine dump. On a sharded machine
-// reports from lane workers are serialized by the mutex, timestamped from
-// the failing node's lane, and carry no detection-time dump — snapshotting
-// other lanes mid-window would race; take one after Run instead.
+// reportFailure funnels a detection that may originate on a lane worker
+// mid-window (a node panic): timestamped from the failing node's lane, no
+// detection-time dump on a sharded machine — snapshotting other lanes
+// mid-window would race. Detectors that run at safe points (barrier ticks,
+// post-Run audits) call fileReport directly and do take dumps.
 func (m *Machine) reportFailure(kind FailureKind, node topo.NodeID, reason string) {
 	at := m.S.Now()
 	if m.kern != nil && node >= 0 {
 		at = m.laneSim(node).Now()
 	}
+	m.fileReport(kind, node, reason, at, m.kern == nil)
+}
+
+// fileReport is the single failure funnel: record the report and, when the
+// flight recorder is running and the caller vouches for dump safety (dump
+// is true only on the classic machine, at kernel barrier ticks, or after
+// Run — anywhere every lane's state is quiescent and readable), attach a
+// full machine dump stamped at the detection time.
+func (m *Machine) fileReport(kind FailureKind, node topo.NodeID, reason string, at sim.Time, dump bool) {
 	r := FailureReport{Kind: kind, Node: node, Reason: reason, At: at}
-	if m.rec != nil && m.kern == nil {
-		r.Dump = m.takeDump(reason, kind.String(), int(node))
+	if m.rec != nil && dump {
+		r.Dump = m.takeDumpAt(reason, kind.String(), int(node), at)
 	}
 	m.mu.Lock()
 	m.reports = append(m.reports, r)
@@ -126,10 +135,17 @@ func (m *Machine) TakeDump(reason string) *flightrec.Dump {
 }
 
 func (m *Machine) takeDump(reason, trigger string, node int) *flightrec.Dump {
+	return m.takeDumpAt(reason, trigger, node, m.S.Now())
+}
+
+// takeDumpAt snapshots with an explicit timestamp — the canonical tick
+// time when called from a kernel barrier, where lane clocks sit at the
+// previous horizon rather than the tick time itself.
+func (m *Machine) takeDumpAt(reason, trigger string, node int, at sim.Time) *flightrec.Dump {
 	if m.rec == nil {
 		return nil
 	}
-	d := &flightrec.Dump{Reason: reason, Trigger: trigger, At: m.S.Now(), Node: node}
+	d := &flightrec.Dump{Reason: reason, Trigger: trigger, At: at, Node: node}
 	ids := make([]topo.NodeID, 0, len(m.nodes))
 	for id := range m.nodes {
 		ids = append(ids, id)
@@ -165,8 +181,10 @@ func (m *Machine) checkLedger() {
 		return
 	}
 	m.ledgerReported = true
-	m.reportFailure(FailureLedger, -1,
-		fmt.Sprintf("fault ledger imbalance at quiescence: %d open (%s)", st.Open(), st))
+	// Post-Run, so even a sharded machine is quiescent: dump safely.
+	m.fileReport(FailureLedger, -1,
+		fmt.Sprintf("fault ledger imbalance at quiescence: %d open (%s)", st.Open(), st),
+		m.S.Now(), true)
 }
 
 // StallDetector watches every instantiated node for open work with no
@@ -196,9 +214,12 @@ func (sd *StallDetector) Stop() { sd.halted = true }
 // go-back-n sends, undrained driver events) whose progress counter does not
 // advance for a full window is reported as stalled, with a dump. Ticks run
 // every window/4 and self-terminate with the event heap, like the sampler,
-// so Machine.Run still returns.
+// so Machine.Run still returns. On a sharded machine ticks fire at kernel
+// barriers (sim.Kernel.Every) — the lane workers have joined there, so the
+// cross-node progress reads and the attached dump are race-free, and the
+// canonical tick times make detections land at identical virtual times at
+// every shard count.
 func (m *Machine) StartStallDetector(window sim.Time) *StallDetector {
-	m.seqOnly("the stall detector")
 	if m.stall != nil {
 		return m.stall
 	}
@@ -214,12 +235,20 @@ func (m *Machine) StartStallDetector(window sim.Time) *StallDetector {
 	if period <= 0 {
 		period = 1
 	}
+	if m.kern != nil {
+		m.kern.Every(period, func(now sim.Time) {
+			if !sd.halted {
+				sd.checkAt(now)
+			}
+		})
+		return sd
+	}
 	var tick func()
 	tick = func() {
 		if sd.halted {
 			return
 		}
-		sd.check()
+		sd.checkAt(m.S.Now())
 		if m.S.Pending() > 0 {
 			m.S.After(period, tick)
 		}
@@ -228,10 +257,9 @@ func (m *Machine) StartStallDetector(window sim.Time) *StallDetector {
 	return sd
 }
 
-// check examines every node once.
-func (sd *StallDetector) check() {
+// checkAt examines every node once at the given canonical time.
+func (sd *StallDetector) checkAt(now sim.Time) {
 	m := sd.m
-	now := m.S.Now()
 	ids := make([]topo.NodeID, 0, len(m.nodes))
 	for id := range m.nodes {
 		ids = append(ids, id)
@@ -256,7 +284,10 @@ func (sd *StallDetector) check() {
 		if m.rec != nil {
 			m.rec.Ring(int(id)).Record(flightrec.KStall, now, 0, uint32(open), 0)
 		}
-		m.reportFailure(FailureStall, id, fmt.Sprintf(
-			"no forward progress for %v with %d open work items", now-sd.lastMove[id], open))
+		// Stall checks run at safe points on every machine kind (classic
+		// event, sharded barrier tick), so dumps are always allowed.
+		m.fileReport(FailureStall, id, fmt.Sprintf(
+			"no forward progress for %v with %d open work items", now-sd.lastMove[id], open),
+			now, true)
 	}
 }

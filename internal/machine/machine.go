@@ -64,14 +64,17 @@ type Machine struct {
 	tracer   *trace.Tracer
 	tel      *telemetry.Telemetry
 	sampler  *Sampler
+	ras      *RAS
 	failures []NodeFailure
 
 	// Sharded-machine state (NewSharded; nil on a classic machine): the
-	// parallel kernel, the per-lane fabric cluster, per-lane telemetry
-	// instances, and the mutex serializing the failure funnel across lanes.
+	// parallel kernel, the per-lane fabric cluster, per-lane telemetry and
+	// trace instances, and the mutex serializing the failure funnel across
+	// lanes.
 	kern *sim.Kernel
 	cl   *fabric.Cluster
 	tels []*telemetry.Telemetry
+	trs  []*trace.Tracer
 	mu   sync.Mutex
 
 	rec            *flightrec.Recorder
@@ -130,8 +133,8 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 	if m.gbn {
 		nic.Policy = fw.ExhaustGoBackN
 	}
-	nic.Trace = m.tracer
-	kern.Trace = m.tracer
+	nic.Trace = m.nodeTrace(id)
+	kern.Trace = nic.Trace
 	drv, err := nal.NewGeneric(kern, nic, m.Topo, &m.P)
 	if err != nil {
 		panic(err)
@@ -151,8 +154,30 @@ func (m *Machine) Node(id topo.NodeID) *Node {
 // EnableTracing starts recording a machine-wide timeline (wire, firmware,
 // interrupt and Portals-event activity) and returns the tracer. Call it
 // before spawning processes; write the result with Tracer.WriteChrome.
+//
+// On a sharded machine each lane records into its own tracer (every node
+// lives on exactly one lane, so a node's records stay in one instance and
+// in lane-local time order); read the merged timeline through
+// Machine.Trace after the run. The merge sorts by (timestamp, node), which
+// preserves each lane's relative order, so the written trace is
+// byte-identical at every shard count.
 func (m *Machine) EnableTracing() *trace.Tracer {
-	m.seqOnly("tracing")
+	if m.kern != nil {
+		if m.trs == nil {
+			m.trs = make([]*trace.Tracer, m.kern.Shards())
+			for i := range m.trs {
+				m.trs[i] = trace.New()
+				m.cl.SetTrace(i, m.trs[i])
+			}
+			for _, n := range m.nodes {
+				n.NIC.Trace = m.nodeTrace(n.ID)
+				n.Kernel.Trace = n.NIC.Trace
+			}
+		}
+		// The per-lane instances are live; read the merged timeline through
+		// Machine.Trace after the run.
+		return m.trs[0]
+	}
 	if m.tracer == nil {
 		m.tracer = trace.New()
 		m.Fab.Trace = m.tracer
@@ -160,6 +185,16 @@ func (m *Machine) EnableTracing() *trace.Tracer {
 			n.NIC.Trace = m.tracer
 			n.Kernel.Trace = m.tracer
 		}
+	}
+	return m.tracer
+}
+
+// Trace returns the machine's tracer (nil unless tracing is enabled). On a
+// sharded machine it merges the per-lane tracers into a fresh one — call
+// it after Run, from the driver goroutine.
+func (m *Machine) Trace() *trace.Tracer {
+	if m.trs != nil {
+		return trace.Merged(m.trs...)
 	}
 	return m.tracer
 }
@@ -308,7 +343,7 @@ func (m *Machine) Spawn(node topo.NodeID, name string, mode Mode, main func(app 
 		return nil, fmt.Errorf("machine: unknown mode %d", mode)
 	}
 
-	lib.Trace = m.tracer
+	lib.Trace = m.nodeTrace(n.ID)
 	n.NIC.S.Go(name, func(p *sim.Proc) {
 		app.Proc = p
 		app.API = nal.NewAPI(p, lib, bridge, &m.P)
@@ -321,15 +356,24 @@ func (m *Machine) Spawn(node topo.NodeID, name string, mode Mode, main func(app 
 // paper's limited-NIC-resources constraint.
 const accelPendings = 256
 
-// Run executes the simulation to completion, then audits the fault plane's
-// ledger: at quiescence every injected fault must be recovered or
-// condemned, and an imbalance files a FailureLedger report (with a dump
-// when the flight recorder is on) instead of panicking.
+// Run executes the simulation to completion, takes the sampler's
+// documented final sample at quiesce time (the sampler self-terminates
+// with the event heap, so the quiesce point itself has no tick of its
+// own), then audits the fault plane's ledger: at quiescence every injected
+// fault must be recovered or condemned, and an imbalance files a
+// FailureLedger report (with a dump when the flight recorder is on)
+// instead of panicking.
 func (m *Machine) Run() {
 	if m.kern != nil {
 		m.kern.Run()
 	} else {
 		m.S.Run()
+	}
+	if m.sampler != nil && !m.sampler.halted {
+		// On a sharded machine every lane's clock reads the final horizon
+		// here (RunUntil sets it), which is shard-invariant, so the closing
+		// sample lands at the same timestamp at every shard count.
+		m.sampler.sampleAt(m.S.Now())
 	}
 	m.checkLedger()
 }

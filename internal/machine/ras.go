@@ -77,10 +77,24 @@ func (r *RAS) Stop() { r.halted = true }
 
 // StartRAS begins firmware heartbeats on every instantiated node and a
 // monitor that samples them every period, declaring a node dead after
-// three silent samples. Because heartbeats keep the event heap busy, drive
-// the simulation with RunUntil (and Stop the monitor before a final Run).
+// three silent samples.
+//
+// On a classic machine heartbeats are firmware self-ticks
+// (NIC.StartHeartbeat) and the monitor reschedules itself forever, so
+// drive the simulation with RunUntil (and Stop the monitor before a final
+// Run). On a sharded machine both halves run as kernel barrier ticks
+// (sim.Kernel.Every) instead: heartbeat ticks at period/4 increment every
+// live NIC's counter, and the monitor samples at period — registered in
+// that order, so at a coinciding tick time the increment precedes the
+// read. Barrier ticks stop at kernel quiescence, so a sharded RAS does not
+// keep the machine alive and Machine.Run returns normally; a node that
+// panics mid-run stops accruing heartbeats (NIC.Kill also halts the
+// firmware's own per-handler increments) and is declared dead three
+// monitor samples later, at the same virtual time at every shard count.
 func (m *Machine) StartRAS(period sim.Time) *RAS {
-	m.seqOnly("the RAS heartbeat monitor")
+	if m.ras != nil {
+		return m.ras
+	}
 	r := &RAS{
 		m:      m,
 		period: period,
@@ -88,37 +102,73 @@ func (m *Machine) StartRAS(period sim.Time) *RAS {
 		missed: make(map[topo.NodeID]int),
 		dead:   make(map[topo.NodeID]sim.Time),
 	}
+	m.ras = r
 	ids := make([]topo.NodeID, 0, len(m.nodes))
-	for id, n := range m.nodes {
-		n.NIC.StartHeartbeat(period / 4)
+	for id := range m.nodes {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if m.kern != nil {
+		hb := period / 4
+		if hb <= 0 {
+			hb = 1
+		}
+		m.kern.Every(hb, func(now sim.Time) {
+			if r.halted {
+				return
+			}
+			for _, id := range ids {
+				if n := m.nodes[id]; !n.NIC.Dead() {
+					n.NIC.Heartbeat++
+				}
+			}
+		})
+		m.kern.Every(period, func(now sim.Time) {
+			if !r.halted {
+				r.check(now)
+			}
+		})
+		return r
+	}
+	for _, id := range ids {
+		m.nodes[id].NIC.StartHeartbeat(period / 4)
+	}
 	var sample func()
 	sample = func() {
 		if r.halted {
 			return
 		}
-		for _, id := range ids {
-			n := m.nodes[id]
-			hb := n.NIC.Heartbeat
-			if _, gone := r.dead[id]; gone {
-				continue
-			}
-			if hb == r.last[id] {
-				r.missed[id]++
-				if r.missed[id] >= 3 {
-					r.dead[id] = m.S.Now()
-				}
-			} else {
-				r.missed[id] = 0
-			}
-			r.last[id] = hb
-		}
+		r.check(m.S.Now())
 		m.S.After(period, sample)
 	}
 	m.S.After(period, sample)
 	return r
+}
+
+// check samples every watched node's heartbeat once at time now.
+func (r *RAS) check(now sim.Time) {
+	m := r.m
+	ids := make([]topo.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		hb := n.NIC.Heartbeat
+		if _, gone := r.dead[id]; gone {
+			continue
+		}
+		if hb == r.last[id] {
+			r.missed[id]++
+			if r.missed[id] >= 3 {
+				r.dead[id] = now
+			}
+		} else {
+			r.missed[id] = 0
+		}
+		r.last[id] = hb
+	}
 }
 
 func (f NodeFailure) String() string {

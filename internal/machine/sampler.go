@@ -3,6 +3,7 @@ package machine
 import (
 	"sort"
 
+	"portals3/internal/fabric"
 	"portals3/internal/sim"
 	"portals3/internal/telemetry"
 	"portals3/internal/topo"
@@ -13,6 +14,15 @@ import (
 // counters and utilizations into virtual-time series — the counter-
 // gathering path the real Red Storm RAS network provided, feeding the
 // machine's telemetry registry for export.
+//
+// On a sharded machine the sampler is lane-local: ticks fire at the
+// kernel's canonical barrier times (sim.Kernel.Every), where every lane's
+// clock agrees and the lane workers have joined, so the coordinator may
+// read any node's counters race-free. Per-node series land in the owning
+// lane's telemetry instance; the fabric aggregates are recorded as
+// per-lane partials that telemetry.Merged sums pointwise (samples share
+// timestamps across lanes by construction). Either way the merged export
+// is byte-identical at every shard count.
 
 // nodeSeries caches one node's series pointers so a tick does no map
 // lookups beyond discovering newly built nodes.
@@ -41,6 +51,15 @@ type nodeSeries struct {
 	evqHigh    *telemetry.Gauge
 }
 
+// laneFab caches one lane's fabric-aggregate series (the classic machine
+// has exactly one, bound to its single telemetry instance).
+type laneFab struct {
+	messages  *telemetry.Series
+	chunks    *telemetry.Series
+	delivered *telemetry.Series
+	retries   *telemetry.Series
+}
+
 // Sampler is a running virtual-time stats sampler.
 type Sampler struct {
 	m      *Machine
@@ -48,46 +67,66 @@ type Sampler struct {
 	halted bool
 	nodes  map[topo.NodeID]*nodeSeries
 
-	fabMessages  *telemetry.Series
-	fabChunks    *telemetry.Series
-	fabDelivered *telemetry.Series
-	fabRetries   *telemetry.Series
-	simFired     *telemetry.Series
-	simPending   *telemetry.Series
+	// Fabric aggregates: one entry on a classic machine, one per lane on a
+	// sharded one (partials that sum pointwise under telemetry.Merged).
+	fabs []laneFab
+
+	// Simulator internals — classic machine only. Per-lane event counts
+	// depend on the node partition, so a sharded machine records
+	// kernel_windows_total (shard-invariant; see sim.Kernel) instead.
+	simFired    *telemetry.Series
+	simPending  *telemetry.Series
+	kernWindows *telemetry.Series
+
+	// lastAt dedupes the final quiesce-time sample against a tick that
+	// already fired at the same instant (series timestamps stay strictly
+	// increasing, which tests pin).
+	lastAt sim.Time
+	took   bool
 
 	// Samples counts ticks taken, for tests and reports.
 	Samples int
 }
 
 // StartSampler begins periodic sampling of every node's firmware, kernel
-// and chip counters (plus fabric and simulator stats) into telemetry time
-// series, every period of simulated time. Telemetry is enabled if it was
-// not already.
+// and chip counters (plus fabric, link-contention and simulator stats)
+// into telemetry time series, every period of simulated time. Telemetry is
+// enabled if it was not already.
 //
-// Unlike the heartbeat monitor (StartRAS), the sampler self-terminates: a
-// tick only reschedules while other work is pending on the event heap, so
-// Machine.Run still returns — with a final sample taken at quiesce time.
+// Unlike the classic heartbeat monitor (StartRAS), the sampler
+// self-terminates: a classic tick only reschedules while other work is
+// pending on the event heap, and sharded barrier ticks stop at kernel
+// quiescence — so Machine.Run still returns, with a final sample taken at
+// quiesce time.
 func (m *Machine) StartSampler(period sim.Time) *Sampler {
-	m.seqOnly("the RAS sampler")
 	if m.sampler != nil {
 		return m.sampler
 	}
 	m.EnableTelemetry()
 	sp := &Sampler{m: m, period: period, nodes: make(map[topo.NodeID]*nodeSeries)}
-	tel := m.tel
-	sp.fabMessages = tel.SeriesFor("fabric_messages_total")
-	sp.fabChunks = tel.SeriesFor("fabric_chunks_total")
-	sp.fabDelivered = tel.SeriesFor("fabric_delivered_total")
-	sp.fabRetries = tel.SeriesFor("fabric_link_retries_total")
-	sp.simFired = tel.SeriesFor("sim_events_fired_total")
-	sp.simPending = tel.SeriesFor("sim_events_pending")
 	m.sampler = sp
+	if m.kern != nil {
+		sp.fabs = make([]laneFab, m.kern.Shards())
+		for i, tel := range m.tels {
+			sp.fabs[i] = bindFab(tel)
+		}
+		sp.kernWindows = m.tels[0].SeriesFor("kernel_windows_total")
+		m.kern.Every(period, func(now sim.Time) {
+			if !sp.halted {
+				sp.sampleAt(now)
+			}
+		})
+		return sp
+	}
+	sp.fabs = []laneFab{bindFab(m.tel)}
+	sp.simFired = m.tel.SeriesFor("sim_events_fired_total")
+	sp.simPending = m.tel.SeriesFor("sim_events_pending")
 	var tick func()
 	tick = func() {
 		if sp.halted {
 			return
 		}
-		sp.sample()
+		sp.sampleAt(m.S.Now())
 		if m.S.Pending() > 0 {
 			m.S.After(period, tick)
 		}
@@ -96,13 +135,28 @@ func (m *Machine) StartSampler(period sim.Time) *Sampler {
 	return sp
 }
 
+// bindFab creates one telemetry instance's fabric-aggregate series.
+func bindFab(tel *telemetry.Telemetry) laneFab {
+	return laneFab{
+		messages:  tel.SeriesFor("fabric_messages_total"),
+		chunks:    tel.SeriesFor("fabric_chunks_total"),
+		delivered: tel.SeriesFor("fabric_delivered_total"),
+		retries:   tel.SeriesFor("fabric_link_retries_total"),
+	}
+}
+
 // Stop halts the sampler after the current period.
 func (sp *Sampler) Stop() { sp.halted = true }
 
-// sample appends one point to every series.
-func (sp *Sampler) sample() {
+// sampleAt appends one point to every series at the given canonical time
+// (a tick time, or the quiesce time for the closing sample).
+func (sp *Sampler) sampleAt(now sim.Time) {
+	if sp.took && now == sp.lastAt {
+		return
+	}
+	sp.took = true
+	sp.lastAt = now
 	m := sp.m
-	now := m.S.Now()
 	sp.Samples++
 	ids := make([]topo.NodeID, 0, len(m.nodes))
 	for id := range m.nodes {
@@ -136,17 +190,37 @@ func (sp *Sampler) sample() {
 		ns.srcLow.Set(float64(occ.SourcesLow))
 		ns.evqHigh.Set(float64(n.Generic.EvQueueHigh()))
 	}
-	sp.fabMessages.Append(now, float64(m.Fab.Stats.Messages))
-	sp.fabChunks.Append(now, float64(m.Fab.Stats.Chunks))
-	sp.fabDelivered.Append(now, float64(m.Fab.Stats.Delivered))
-	sp.fabRetries.Append(now, float64(m.Fab.Stats.LinkRetries))
+	if m.kern != nil {
+		for i := range sp.fabs {
+			f := m.cl.LaneFabric(i)
+			sp.fabs[i].append(now, f.Stats)
+			for _, mt := range f.Meters() {
+				mt.Sample(m.tels[i], now)
+			}
+		}
+		sp.kernWindows.Append(now, float64(m.kern.Windows))
+		return
+	}
+	sp.fabs[0].append(now, m.Fab.Stats)
+	for _, mt := range m.Fab.Meters() {
+		mt.Sample(m.tel, now)
+	}
 	sp.simFired.Append(now, float64(m.S.Fired))
 	sp.simPending.Append(now, float64(m.S.Pending()))
 }
 
-// bindNode creates the series set for a newly seen node.
+// append records one lane's fabric counters at time now.
+func (lf *laneFab) append(now sim.Time, st fabric.Stats) {
+	lf.messages.Append(now, float64(st.Messages))
+	lf.chunks.Append(now, float64(st.Chunks))
+	lf.delivered.Append(now, float64(st.Delivered))
+	lf.retries.Append(now, float64(st.LinkRetries))
+}
+
+// bindNode creates the series set for a newly seen node, in the node's
+// lane-local telemetry instance.
 func (sp *Sampler) bindNode(id topo.NodeID) *nodeSeries {
-	tel := sp.m.tel
+	tel := sp.m.nodeTel(id)
 	nl := telemetry.NodeLabel(int(id))
 	ns := &nodeSeries{
 		heartbeat:  tel.SeriesFor("node_fw_heartbeat_total", nl),

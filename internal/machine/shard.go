@@ -7,6 +7,7 @@ import (
 	"portals3/internal/sim"
 	"portals3/internal/telemetry"
 	"portals3/internal/topo"
+	"portals3/internal/trace"
 )
 
 // This file assembles sharded machines: the same node components as the
@@ -16,9 +17,13 @@ import (
 // bit-identical reference for any shard count (DESIGN.md §11); the classic
 // machine remains the reference for the whole-path wire model.
 //
-// Sequential-only features — tracing, the RAS sampler, the stall detector,
-// runtime fault injection — panic on a sharded machine rather than produce
-// racy or shard-dependent results; seqOnly is the single guard.
+// Observers — tracing, the RAS sampler, the heartbeat monitor, the stall
+// detector — run lane-local on a sharded machine: each lane records into
+// its own tracer/telemetry instance, liveness checks fire at the kernel's
+// canonical barrier ticks (sim.Kernel.Every), and the per-lane artifacts
+// merge deterministically at snapshot time (DESIGN.md §12). Only the
+// remaining truly sequential features — RunUntil and runtime fault
+// injection — panic via seqOnly.
 
 // NewSharded builds a machine over the given topology whose nodes are
 // partitioned into `shards` parallel event lanes. Nodes are assigned to
@@ -88,4 +93,14 @@ func (m *Machine) nodeTel(id topo.NodeID) *telemetry.Telemetry {
 		return m.tels[m.cl.Lane(id)]
 	}
 	return m.tel
+}
+
+// nodeTrace returns the tracer a node's components record into: the
+// machine-wide instance on a classic machine, the node's lane instance on
+// a sharded one (nil until tracing is enabled).
+func (m *Machine) nodeTrace(id topo.NodeID) *trace.Tracer {
+	if m.trs != nil {
+		return m.trs[m.cl.Lane(id)]
+	}
+	return m.tracer
 }

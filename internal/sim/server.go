@@ -76,6 +76,25 @@ func (sv *Server) FreeAt() Time {
 	return sv.busyUntil
 }
 
+// BusyBy returns the virtual time the server has spent occupied up to time
+// t: accepted work (Busy) minus the backlog still outstanding after t. FIFO
+// service drains the backlog back-to-back, so the subtraction is exact
+// whenever the server has been continuously busy since t, and overstates
+// the outstanding backlog by at most the idle gap otherwise. Windowed
+// utilization — BusyBy deltas over a sample window — therefore stays in
+// [0, 1] instead of spiking when a burst is accepted at submission time.
+func (sv *Server) BusyBy(t Time) Time {
+	rem := sv.busyUntil - t
+	if rem < 0 {
+		rem = 0
+	}
+	b := sv.Busy - rem
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
 // Utilization returns Busy divided by the elapsed virtual time.
 func (sv *Server) Utilization() float64 {
 	if sv.s.now == 0 {

@@ -72,8 +72,69 @@ type Kernel struct {
 	work []chan Time
 	join chan struct{}
 
+	// ticks are the registered barrier ticks (Every), the hook shard-aware
+	// observers hang off.
+	ticks []*ktick
+
 	// Windows counts synchronization windows executed, for diagnostics.
 	Windows uint64
+}
+
+// ktick is one registered periodic barrier tick.
+type ktick struct {
+	next   Time
+	period Time
+	fn     func(Time)
+}
+
+// Every registers fn to run at window barriers, once for each multiple of
+// period (the first at t = period). At each barrier the coordinator fires —
+// in (tick time, registration) order — every pending tick whose time lies
+// strictly below the next window's minimum event time m, passing the tick
+// time as the canonical timestamp.
+//
+// Why this is the observer hook: at a barrier the lane workers are joined
+// (happens-before through the work/join channels), every lane's clock sits
+// at the previous horizon, and the set of executed events — everything at
+// or before that horizon — is shard-invariant (see the determinism argument
+// above). A tick may therefore read, and at barrier time even write, any
+// lane's model state without races, and whatever it records is byte-
+// identical at every shard count. The observation can lag the tick time by
+// at most lookahead−1: events in (tick, horizon] of the window containing
+// the tick have already executed. That smear is bounded by one hop latency
+// and is itself shard-invariant.
+//
+// Ticks are not lane events: they occupy no heap, never extend the run, and
+// stop firing at quiescence (a tick due beyond the last event never fires —
+// callers wanting an end-of-run snapshot take it after Run returns). fn
+// must not schedule lane events or post mail; it runs on the coordinator,
+// outside any window.
+func (k *Kernel) Every(period Time, fn func(Time)) {
+	if period <= 0 {
+		panic("sim: kernel tick period must be positive")
+	}
+	k.ticks = append(k.ticks, &ktick{next: period, period: period, fn: fn})
+}
+
+// fireTicks runs every registered tick due strictly before m, in (time,
+// registration) order. The strict < keeps ties on registration order and
+// guarantees every event at or before a tick's time has executed when it
+// fires.
+func (k *Kernel) fireTicks(m Time) {
+	for {
+		var due *ktick
+		for _, t := range k.ticks {
+			if t.next < m && (due == nil || t.next < due.next) {
+				due = t
+			}
+		}
+		if due == nil {
+			return
+		}
+		at := due.next
+		due.next += due.period
+		due.fn(at)
+	}
 }
 
 // NewKernel returns a kernel with the given number of lanes. lookahead is
@@ -204,6 +265,9 @@ func (k *Kernel) Run() {
 				panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked across %d lanes with no pending events or mail", p, n))
 			}
 			return
+		}
+		if len(k.ticks) > 0 {
+			k.fireTicks(m)
 		}
 		h := m + k.lookahead - 1
 		k.horizon = h

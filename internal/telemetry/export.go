@@ -13,10 +13,9 @@ import (
 	"portals3/internal/sim"
 )
 
-// promLabels renders a label set for the exposition format, with an
-// optional extra label (used for histogram `le` bounds).
-func promLabels(labels []Label, extraK, extraV string) string {
-	s := labelString(labels)
+// promLabels renders a pre-rendered label string for the exposition
+// format, with an optional extra label (used for histogram `le` bounds).
+func promLabels(s, extraK, extraV string) string {
 	if extraK != "" {
 		if s != "" {
 			s += ","
@@ -54,19 +53,19 @@ func (t *Telemetry) WritePrometheus(w io.Writer, now sim.Time) error {
 		}
 		switch m.Kind {
 		case KindCounter:
-			fmt.Fprintf(bw, "%s%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.C.Value())
+			fmt.Fprintf(bw, "%s%s %d\n", m.Name, promLabels(m.labelStr, "", ""), m.C.Value())
 		case KindGauge:
-			fmt.Fprintf(bw, "%s%s %g\n", m.Name, promLabels(m.Labels, "", ""), m.G.Value())
+			fmt.Fprintf(bw, "%s%s %g\n", m.Name, promLabels(m.labelStr, "", ""), m.G.Value())
 		case KindHistogram:
 			var cum uint64
 			for _, b := range m.H.Buckets() {
 				cum += b.Count
 				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name,
-					promLabels(m.Labels, "le", fmt.Sprintf("%d", b.Upper)), cum)
+					promLabels(m.labelStr, "le", fmt.Sprintf("%d", b.Upper)), cum)
 			}
-			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", "+Inf"), m.H.Count())
-			fmt.Fprintf(bw, "%s_sum%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.H.Sum())
-			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.H.Count())
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.Name, promLabels(m.labelStr, "le", "+Inf"), m.H.Count())
+			fmt.Fprintf(bw, "%s_sum%s %d\n", m.Name, promLabels(m.labelStr, "", ""), m.H.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, promLabels(m.labelStr, "", ""), m.H.Count())
 		}
 	}
 	// Sampler series surface as gauges holding their latest sample.
@@ -75,7 +74,7 @@ func (t *Telemetry) WritePrometheus(w io.Writer, now sim.Time) error {
 			continue
 		}
 		fmt.Fprintf(bw, "# TYPE %s gauge\n", s.Name)
-		fmt.Fprintf(bw, "%s%s %g\n", s.Name, promLabels(s.Labels, "", ""), s.Samples[len(s.Samples)-1].V)
+		fmt.Fprintf(bw, "%s%s %g\n", s.Name, promLabels(s.labelStr, "", ""), s.Samples[len(s.Samples)-1].V)
 	}
 	return bw.err
 }
@@ -87,7 +86,7 @@ func (t *Telemetry) seriesSorted() []*Series {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
 		}
-		return labelString(out[i].Labels) < labelString(out[j].Labels)
+		return out[i].labelStr < out[j].labelStr
 	})
 	return out
 }
@@ -141,7 +140,7 @@ func (t *Telemetry) Snapshot(now sim.Time) *Export {
 	}
 	e := &Export{SimTimePs: int64(now)}
 	for _, m := range t.Reg.Metrics() {
-		em := ExportMetric{Name: m.Name, Labels: labelString(m.Labels)}
+		em := ExportMetric{Name: m.Name, Labels: m.labelStr}
 		switch m.Kind {
 		case KindCounter:
 			em.Kind = "counter"
@@ -166,7 +165,7 @@ func (t *Telemetry) Snapshot(now sim.Time) *Export {
 		e.Metrics = append(e.Metrics, em)
 	}
 	for _, s := range t.seriesSorted() {
-		es := ExportSeries{Name: s.Name, Labels: labelString(s.Labels)}
+		es := ExportSeries{Name: s.Name, Labels: s.labelStr}
 		for _, smp := range s.Samples {
 			es.Times = append(es.Times, int64(smp.T))
 			es.Values = append(es.Values, smp.V)

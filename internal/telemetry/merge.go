@@ -47,14 +47,36 @@ func (r *Registry) MergeFrom(o *Registry) {
 	}
 }
 
+// mergeSeriesFrom folds another telemetry's sampler series into t. Lane-
+// local samplers tick at canonical barrier times (sim.Kernel.Every), so two
+// lanes holding the same series — the per-lane fabric partials — hold
+// samples at identical timestamps, which add pointwise; series owned by a
+// single lane (everything per-node, per-link) copy through. The defensive
+// append keeps a merge of misaligned series lossless rather than silently
+// wrong.
+func (t *Telemetry) mergeSeriesFrom(o *Telemetry) {
+	for _, s := range o.series {
+		dst := t.SeriesFor(s.Name, s.Labels...)
+		for i, smp := range s.Samples {
+			if i < len(dst.Samples) && dst.Samples[i].T == smp.T {
+				dst.Samples[i].V += smp.V
+			} else {
+				dst.Samples = append(dst.Samples, smp)
+			}
+		}
+	}
+}
+
 // Merged builds one telemetry instance from per-lane parts, merged in
-// order. Series are not carried over — the RAS sampler is a sequential-
-// machine feature and sharded machines reject it.
+// order: registry instruments via MergeFrom, sampler series pointwise (the
+// result is independent of the node partition, like every other merged
+// artifact).
 func Merged(parts ...*Telemetry) *Telemetry {
 	out := New()
 	for _, p := range parts {
 		if p != nil {
 			out.Reg.MergeFrom(p.Reg)
+			out.mergeSeriesFrom(p)
 		}
 	}
 	return out

@@ -23,6 +23,12 @@ func L(k, v string) Label { return Label{Key: k, Value: v} }
 // NodeLabel labels a metric with a node id.
 func NodeLabel(node int) Label { return Label{Key: "node", Value: fmt.Sprintf("%d", node)} }
 
+// HopsLabel labels a metric with a route length.
+func HopsLabel(hops int) Label { return Label{Key: "hops", Value: fmt.Sprintf("%d", hops)} }
+
+// DirLabel labels a metric with a link direction ("X+", "Z-", ...).
+func DirLabel(dir string) Label { return Label{Key: "dir", Value: dir} }
+
 // Counter is a monotonically increasing uint64. A nil *Counter ignores
 // updates, so call sites may hold one unconditionally.
 type Counter struct{ v uint64 }
@@ -75,14 +81,18 @@ const (
 )
 
 // Metric is one registered instrument: a name, an ordered label set, and
-// exactly one of the three instrument pointers.
+// exactly one of the three instrument pointers. labelStr is the rendered
+// label set, computed once at registration — exporters sort and emit
+// thousands of link-meter metrics, so re-rendering per comparison would
+// dominate the export's allocation profile.
 type Metric struct {
-	Name   string
-	Labels []Label
-	Kind   int
-	C      *Counter
-	G      *Gauge
-	H      *Histogram
+	Name     string
+	Labels   []Label
+	labelStr string
+	Kind     int
+	C        *Counter
+	G        *Gauge
+	H        *Histogram
 }
 
 // labelString renders an ordered label set as `k="v",k2="v2"`.
@@ -117,14 +127,15 @@ func NewRegistry() *Registry {
 func (r *Registry) lookup(name string, kind int, labels []Label) *Metric {
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
-	key := name + "{" + labelString(ls) + "}"
+	lstr := labelString(ls)
+	key := name + "{" + lstr + "}"
 	if m, ok := r.index[key]; ok {
 		if m.Kind != kind {
 			panic(fmt.Sprintf("telemetry: %s re-registered with different kind", key))
 		}
 		return m
 	}
-	m := &Metric{Name: name, Labels: ls, Kind: kind}
+	m := &Metric{Name: name, Labels: ls, labelStr: lstr, Kind: kind}
 	switch kind {
 	case KindCounter:
 		m.C = &Counter{}
@@ -162,7 +173,7 @@ func (r *Registry) Metrics() []*Metric {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
 		}
-		return labelString(out[i].Labels) < labelString(out[j].Labels)
+		return out[i].labelStr < out[j].labelStr
 	})
 	return out
 }

@@ -65,6 +65,7 @@ func (s Seg) String() string {
 type MsgRec struct {
 	t     [NumStamps]sim.Time
 	bytes int
+	hops  int // route length, set at wire injection; 0 until stamped
 }
 
 // Stamp records the virtual time of one lifecycle boundary. Only the first
@@ -78,12 +79,23 @@ func (r *MsgRec) Stamp(stamp int, t sim.Time) {
 	r.t[stamp] = t
 }
 
+// SetHops records the message's route length (hop count), set by the
+// fabric at header injection. Like Stamp, only the first value sticks — a
+// go-back-n retransmission follows the same fixed path.
+func (r *MsgRec) SetHops(hops int) {
+	if r == nil || r.hops != 0 {
+		return
+	}
+	r.hops = hops
+}
+
 // reset prepares a pooled record for reuse.
 func (r *MsgRec) reset(bytes int) {
 	for i := range r.t {
 		r.t[i] = -1
 	}
 	r.bytes = bytes
+	r.hops = 0
 }
 
 // complete reports whether every boundary was stamped.
@@ -108,6 +120,11 @@ type Telemetry struct {
 
 	completed  *Counter // records finished with all stamps present
 	incomplete *Counter // records dropped with stamps missing
+
+	// byHops caches the per-hop-count end-to-end histograms (the latency-
+	// under-load decomposition), indexed by route length and registered on
+	// first completion at that distance.
+	byHops []*Histogram
 
 	series  []*Series
 	sindex  map[string]*Series
@@ -160,7 +177,9 @@ func (t *Telemetry) FinishMsg(r *MsgRec) {
 		for s := Seg(0); s < NumSegs; s++ {
 			t.seg[s].Observe(int64(r.t[s+1] - r.t[s]))
 		}
-		t.e2e.Observe(int64(r.t[StampDeliver] - r.t[StampSubmit]))
+		e2e := int64(r.t[StampDeliver] - r.t[StampSubmit])
+		t.e2e.Observe(e2e)
+		t.HopsHist(r.hops).Observe(e2e)
 		t.msg.Observe(int64(r.bytes))
 		t.completed.Inc()
 	} else {
@@ -187,6 +206,23 @@ func (t *Telemetry) SegmentHist(s Seg) *Histogram {
 	return t.seg[s]
 }
 
+// HopsHist returns the end-to-end latency histogram for messages whose
+// route is hops links long (`portals_msg_e2e_by_hops_ps{hops="k"}`) — the
+// latency-under-load decomposition per distance. The cache is bounded by
+// the topology diameter; a nil *Telemetry returns nil.
+func (t *Telemetry) HopsHist(hops int) *Histogram {
+	if t == nil || hops < 0 {
+		return nil
+	}
+	for hops >= len(t.byHops) {
+		t.byHops = append(t.byHops, nil)
+	}
+	if t.byHops[hops] == nil {
+		t.byHops[hops] = t.Reg.Histogram("portals_msg_e2e_by_hops_ps", HopsLabel(hops))
+	}
+	return t.byHops[hops]
+}
+
 // E2EHist returns the end-to-end latency histogram.
 func (t *Telemetry) E2EHist() *Histogram {
 	if t == nil {
@@ -202,10 +238,13 @@ type Sample struct {
 }
 
 // Series is one named virtual-time series, filled by the RAS sampler.
+// labelStr caches the rendered label set, like Metric's — the per-link
+// utilization series alone number in the thousands at machine scale.
 type Series struct {
-	Name    string
-	Labels  []Label
-	Samples []Sample
+	Name     string
+	Labels   []Label
+	labelStr string
+	Samples  []Sample
 }
 
 // Append adds a sample. A nil *Series ignores it.
@@ -222,11 +261,12 @@ func (t *Telemetry) SeriesFor(name string, labels ...Label) *Series {
 		return nil
 	}
 	ls := append([]Label(nil), labels...)
-	key := name + "{" + labelString(ls) + "}"
+	lstr := labelString(ls)
+	key := name + "{" + lstr + "}"
 	if s, ok := t.sindex[key]; ok {
 		return s
 	}
-	s := &Series{Name: name, Labels: ls}
+	s := &Series{Name: name, Labels: ls, labelStr: lstr}
 	t.series = append(t.series, s)
 	t.sindex[key] = s
 	return s

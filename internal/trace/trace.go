@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"portals3/internal/sim"
 )
@@ -97,6 +98,29 @@ func (t *Tracer) Records() []Record {
 		return nil
 	}
 	return append([]Record(nil), t.records...)
+}
+
+// Merged folds per-lane tracers into one canonical timeline: records are
+// concatenated in lane order and stable-sorted by (timestamp, node). On a
+// sharded machine every node's events execute on exactly one lane, so all
+// records sharing a (timestamp, node) pair come from the same input tracer
+// and the stable sort preserves their in-lane relative order — which is
+// itself shard-invariant (DESIGN.md §11). The merged record sequence, and
+// therefore WriteChrome's output, is byte-identical at every shard count.
+func Merged(parts ...*Tracer) *Tracer {
+	out := &Tracer{}
+	for _, p := range parts {
+		if p != nil {
+			out.records = append(out.records, p.records...)
+		}
+	}
+	sort.SliceStable(out.records, func(i, j int) bool {
+		if out.records[i].TS != out.records[j].TS {
+			return out.records[i].TS < out.records[j].TS
+		}
+		return out.records[i].PID < out.records[j].PID
+	})
+	return out
 }
 
 // chromeEvent is the on-disk JSON shape.

@@ -95,15 +95,16 @@ fi
 echo "check.sh: $matched benchmarks checked against baselines"
 
 echo "== sharded kernel: 512-node torus halo (BenchmarkTorusHalo*) =="
-# Two arms of the identical simulated workload: shards=1 (sequential
-# reference) and shards=4. Simulated results are bit-identical by
+# Three arms of the identical simulated workload: shards=1 (sequential
+# reference), shards=4, and shards=4 with every periodic observer armed.
+# Simulated results are bit-identical by
 # construction (TestTorusDifferential enforces it); here we gate the
 # host-side costs: allocs/op of the sharded arm must stay within 5% of
 # sequential always, and on a host with >=4 cores the sharded arm must be
 # at least 2x faster in wall-clock. On smaller hosts the kernel runs its
 # lanes inline (no parallelism exists to win) and the speedup gate is
 # meaningless, so it is skipped with a notice.
-if ! halo_raw=$(go test -run xxx -bench 'TorusHalo(Seq|Shard4)$' \
+if ! halo_raw=$(go test -run xxx -bench 'TorusHalo(Seq|Shard4|Shard4SamplerOn)$' \
     -benchtime 1x -benchmem . 2>&1); then
     echo "FAIL: torus halo benchmark run exited non-zero:"
     echo "$halo_raw"
@@ -111,11 +112,17 @@ if ! halo_raw=$(go test -run xxx -bench 'TorusHalo(Seq|Shard4)$' \
 fi
 halo=$(echo "$halo_raw" | grep '^BenchmarkTorusHalo' || true)
 echo "$halo"
-seq_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloSeq/ {print $3}')
-seq_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloSeq/ {print $(NF-1)}')
-par_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4/ {print $3}')
-par_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4/ {print $(NF-1)}')
-if [ -z "$seq_ns" ] || [ -z "$par_ns" ] || [ -z "$seq_allocs" ] || [ -z "$par_allocs" ]; then
+# Names may or may not carry the -GOMAXPROCS suffix (absent at
+# GOMAXPROCS=1), and Shard4 is a prefix of Shard4SamplerOn, so each arm
+# is matched by exact name with an optional suffix.
+seq_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloSeq(-[0-9]+)?$/ {print $3}')
+seq_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloSeq(-[0-9]+)?$/ {print $(NF-1)}')
+par_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4(-[0-9]+)?$/ {print $3}')
+par_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4(-[0-9]+)?$/ {print $(NF-1)}')
+obs_ns=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4SamplerOn(-[0-9]+)?$/ {print $3}')
+obs_allocs=$(echo "$halo" | awk '$1 ~ /^BenchmarkTorusHaloShard4SamplerOn(-[0-9]+)?$/ {print $(NF-1)}')
+if [ -z "$seq_ns" ] || [ -z "$par_ns" ] || [ -z "$obs_ns" ] ||
+    [ -z "$seq_allocs" ] || [ -z "$par_allocs" ] || [ -z "$obs_allocs" ]; then
     echo "FAIL: could not parse torus halo benchmark output; raw output was:"
     echo "$halo_raw"
     exit 1
@@ -128,6 +135,26 @@ if [ "$alloc_ok" != "1" ]; then
     exit 1
 fi
 echo "check.sh: halo allocs/op within 5% (seq $seq_allocs, 4 shards $par_allocs)"
+# The observed arm runs the same workload with every periodic observer
+# armed (telemetry, RAS sampler, link meters, stall detector, heartbeat
+# monitor, flight recorder; tracing excepted — it allocates per record by
+# design). The added allocations are instrument registration plus the
+# end-of-run merge/export — a fixed cost, not per-event — so the ratio
+# against the bare sharded arm is gated: measured ~1.69x, fails above
+# 1.8x (a reintroduced per-event allocation blows well past that).
+# Wall-clock over 3x only warns; it is machine-dependent.
+obs_alloc_ok=$(awk -v o="$obs_allocs" -v b="$par_allocs" \
+    'BEGIN { print (o <= 1.8 * b) ? 1 : 0 }')
+if [ "$obs_alloc_ok" != "1" ]; then
+    echo "FAIL: observed halo allocs/op = $obs_allocs, bare sharded = $par_allocs (>1.8x)"
+    echo "check.sh: observer allocation regression"
+    exit 1
+fi
+echo "check.sh: observed halo allocs/op within 1.8x of bare (bare $par_allocs, observed $obs_allocs)"
+obs_ns_ok=$(awk -v o="$obs_ns" -v b="$par_ns" 'BEGIN { print (o <= 3.0 * b) ? 1 : 0 }')
+if [ "$obs_ns_ok" != "1" ]; then
+    echo "WARN: observed halo ns/op = $obs_ns, bare sharded = $par_ns (>3x; machine-dependent, not fatal)"
+fi
 cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ "$cpus" -ge 4 ]; then
     speedup_ok=$(awk -v s="$seq_ns" -v p="$par_ns" 'BEGIN { print (s >= 2.0 * p) ? 1 : 0 }')
