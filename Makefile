@@ -1,6 +1,6 @@
 # Stdlib-only Go; these targets just bundle the usual invocations.
 
-.PHONY: all build test race vet bench figures check check-fast
+.PHONY: all build test race vet bench figures check check-fast soak soak-short
 
 all: build
 
@@ -31,3 +31,14 @@ check:
 
 check-fast:
 	sh scripts/check.sh -fast
+
+# Chaos soak campaigns: seeded virtual-time fault schedules over the
+# standard workloads at shards 1 and 4, ledger-balanced and byte-identical
+# across shard counts; failures auto-bisect to a minimal schedule under
+# soak_artifacts/. Trend history accumulates in SOAK_trend.json next to
+# BENCH_substrate.json. soak-short is the ~1 minute CI gate.
+soak:
+	go run ./cmd/soak -seeds 5 -out SOAK_trend.json
+
+soak-short:
+	go run ./cmd/soak -short -out SOAK_trend.json

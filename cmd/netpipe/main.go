@@ -24,6 +24,13 @@
 //	netpipe -series put -gbn -faults drop:data:0.01,drop:fcack:0.05
 //	netpipe -series put -gbn -faults delay:data:0.02:20us -faultseed 7
 //
+// Timed faults — link flaps, node stalls, firmware restarts, loss bursts —
+// use the declarative -schedule grammar instead; unlike -faults they are
+// deterministic in virtual time and work at any -shards count:
+//
+//	netpipe -series put -pattern stream -gbn -schedule 'linkdown:0:X+:150us:100us'
+//	netpipe -torus -shards 4 -gbn -schedule 'stall:5:400us:80us,burst:drop:data:0.2:200us:60us'
+//
 // The machine-scale torus halo exchange runs on the sharded parallel
 // kernel; -shards picks the lane count and -seq forces the sequential
 // reference (simulated results are bit-identical either way):
@@ -54,8 +61,18 @@ import (
 	"portals3/internal/netpipe"
 	"portals3/internal/sim"
 	"portals3/internal/telemetry"
+	"portals3/internal/topo"
 	"portals3/internal/trace"
 )
+
+// scheduleTopology is the topology the selected run mode will build, used
+// to validate -schedule before any machine exists.
+func scheduleTopology(torusMode bool, dim int) (*topo.Topology, error) {
+	if torusMode {
+		return topo.XT3Torus(dim, dim, dim)
+	}
+	return topo.New(2, 1, 1, false, false, false)
+}
 
 // writeTelemetry exports the machine's telemetry: Prometheus text for a
 // .prom suffix, the JSON document otherwise.
@@ -115,6 +132,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations (A1-A6) and print checks")
 	faults := flag.String("faults", "", "seeded fault injection: kind:frame:prob[:delay] rules, comma-separated (kinds drop,dup,delay,reorder; frames any,data,fcack,fcnack)")
 	faultSeed := flag.Int64("faultseed", 0, "fault plane PRNG seed; 0 uses the built-in default (with -faults)")
+	schedule := flag.String("schedule", "", "declarative timed-fault schedule: linkdown:NODE:DIR:AT:DUR, stall:NODE:AT:DUR, restart:NODE:AT:DUR, burst:KIND:FRAME:PROB:AT:DUR[:DELAY], corrupt:NODE:AT, comma-separated; works at any -shards count (combine with -gbn to recover losses)")
 	gbn := flag.Bool("gbn", false, "enable the go-back-n loss/exhaustion recovery protocol (with -series)")
 	flightrecOn := flag.Bool("flightrec", false, "enable the per-node flight recorder and write an end-of-run dump (with -series)")
 	flightrecEvents := flag.Int("flightrec-events", 0, "flight recorder ring capacity per node, 0 for the default")
@@ -136,6 +154,34 @@ func main() {
 	}
 	p.Faults = rules
 	p.FaultSeed = *faultSeed
+	// Flag validation happens here, before any machine exists, so a bad
+	// combination is a clear exit-2 diagnostic rather than a panic deep in
+	// construction (machine.seqOnly or a schedule-validation panic).
+	if *seq && *shards > 1 {
+		fmt.Fprintf(os.Stderr, "netpipe: conflicting flags: -seq forces the sequential reference kernel; drop -seq or -shards %d\n", *shards)
+		os.Exit(2)
+	}
+	if p.Schedule, err = model.ParseSchedule(*schedule); err != nil {
+		fmt.Fprintf(os.Stderr, "netpipe: -schedule: %v\n", err)
+		os.Exit(2)
+	}
+	if len(p.Schedule) > 0 {
+		if *fig != "" || *ablations {
+			fmt.Fprintln(os.Stderr, "netpipe: -schedule applies to a single run; use it with -series or -torus, not -fig/-ablations")
+			os.Exit(2)
+		}
+		// Validate against the topology the run will actually build: the
+		// dim^3 torus, or the two-node netpipe pair.
+		tp, err := scheduleTopology(*torus, *dim)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netpipe: ", err)
+			os.Exit(2)
+		}
+		if err := p.Schedule.Validate(tp); err != nil {
+			fmt.Fprintf(os.Stderr, "netpipe: -schedule: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -197,6 +243,7 @@ func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut str
 	cfg.GoBackN = gbn
 	cfg.Faults = p.Faults
 	cfg.FaultSeed = p.FaultSeed
+	cfg.Schedule = p.Schedule
 	cfg.Telemetry = telemetryOut != ""
 	if cfg.Telemetry && sampleUs > 0 {
 		cfg.SamplePeriod = sim.Time(sampleUs) * sim.Microsecond
@@ -398,7 +445,7 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn 
 	}
 	var mach *machine.Machine
 	var tracer *trace.Tracer
-	if traceOut != "" || stats || telemetryOut != "" || gbn || fr.on || len(p.Faults) > 0 {
+	if traceOut != "" || stats || telemetryOut != "" || gbn || fr.on || len(p.Faults) > 0 || len(p.Schedule) > 0 {
 		cfg.Observe = func(m *machine.Machine) {
 			mach = m
 			if gbn {
@@ -455,7 +502,7 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn 
 		fmt.Println()
 		fmt.Print(mach.Stats())
 	}
-	if len(p.Faults) > 0 && mach != nil {
+	if (len(p.Faults) > 0 || len(p.Schedule) > 0) && mach != nil {
 		fmt.Printf("\nfault plane: %v\n", mach.Faults().Snapshot())
 	}
 	if fr.on && mach != nil {
@@ -484,5 +531,16 @@ func runSeries(p model.Params, series, pattern string, maxBytes int, accel, gbn 
 			os.Exit(1)
 		}
 		fmt.Printf("trace: %d events written to %s (open in chrome://tracing or Perfetto)\n", tracer.Len(), traceOut)
+	}
+	// A scheduled-fault run that ends with open failure reports (ledger
+	// imbalance, stall, panic) exits nonzero so scripted repros can gate on
+	// it; writeDumps already printed the reports when the recorder is on.
+	if len(p.Schedule) > 0 && mach != nil && len(mach.Reports()) > 0 {
+		if !fr.on {
+			for _, r := range mach.Reports() {
+				fmt.Fprintf(os.Stderr, "failure: %v\n", r)
+			}
+		}
+		os.Exit(1)
 	}
 }

@@ -202,10 +202,10 @@ type linkRow struct {
 }
 
 // renderLinkContention assembles the per-link contention table: the
-// busiest directed links by peak sampled window utilization (the last
-// window usually covers the drain to quiescence and reads idle), with
-// their queue-depth watermarks and accumulated head-of-line blocking
-// time.
+// busiest directed links by peak sampled window utilization (the final
+// window is flushed at the instant each link went idle, so late-run peaks
+// count too), with their queue-depth watermarks and accumulated
+// head-of-line blocking time.
 func renderLinkContention(e *telemetry.Export) {
 	rows := make(map[string]*linkRow)
 	row := func(labels string) *linkRow {

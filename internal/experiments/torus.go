@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"portals3/internal/core"
+	"portals3/internal/fabric"
 	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/sim"
@@ -36,12 +37,16 @@ type TorusConfig struct {
 	Radius int // axis distance to each partner (hops per message)
 	Shards int // event lanes; 1 is the sequential reference
 
-	// GoBackN enables the recovery protocol. Forced on when Faults are
-	// configured — a dropped halo face would otherwise deadlock the
-	// exchange barrier.
+	// GoBackN enables the recovery protocol. Forced on when Faults or a
+	// Schedule are configured — a dropped halo face would otherwise
+	// deadlock the exchange barrier.
 	GoBackN   bool
 	Faults    []model.FaultRule
 	FaultSeed int64
+
+	// Schedule is the declarative timed-fault plan (link outages, stalls,
+	// restarts, bursts), applied deterministically at any shard count.
+	Schedule model.FaultSchedule
 
 	Telemetry bool
 	FlightRec bool
@@ -75,6 +80,10 @@ type TorusResult struct {
 	DumpBytes     []byte // end-of-run flight-recorder dump (FlightRec on)
 	TraceBytes    []byte // merged Chrome trace (Trace on)
 	FaultsLine    string // summed fault-ledger counters (faults configured)
+
+	// FaultStats is the numeric fault-ledger snapshot behind FaultsLine,
+	// for callers (the soak driver) that audit the counters directly.
+	FaultStats fabric.FaultStats
 
 	// Errors lists halo verification failures; empty on a correct run.
 	Errors []string
@@ -127,12 +136,13 @@ func TorusHalo(cfg TorusConfig) TorusResult {
 	p := model.Defaults()
 	p.Faults = cfg.Faults
 	p.FaultSeed = cfg.FaultSeed
+	p.Schedule = cfg.Schedule
 	tp, err := topo.XT3Torus(cfg.Dim, cfg.Dim, cfg.Dim)
 	if err != nil {
 		panic(err)
 	}
 	m := machine.NewSharded(p, tp, cfg.Shards)
-	if cfg.GoBackN || len(cfg.Faults) > 0 {
+	if cfg.GoBackN || len(cfg.Faults) > 0 || len(cfg.Schedule) > 0 {
 		m.EnableGoBackN()
 	}
 	if cfg.Telemetry {
@@ -271,6 +281,7 @@ func TorusHalo(cfg TorusConfig) TorusResult {
 	}
 	if st, ok := m.FaultSnapshot(); ok {
 		res.FaultsLine = st.String()
+		res.FaultStats = st
 	}
 	for _, r := range m.Reports() {
 		res.Errors = append(res.Errors, "failure report: "+r.String())

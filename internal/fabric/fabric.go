@@ -166,7 +166,7 @@ func New(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
 		eps:    make(map[topo.NodeID]Endpoint),
 		routes: make(map[[2]topo.NodeID][]topo.Dir),
 	}
-	if len(p.Faults) > 0 || p.FaultSeed != 0 {
+	if len(p.Faults) > 0 || p.FaultSeed != 0 || len(p.Schedule) > 0 {
 		f.Faults() // params-configured rules activate the plane immediately
 	}
 	return f

@@ -152,6 +152,9 @@ func newFaultPlane(f *Fabric) *FaultPlane {
 	for _, r := range f.P.Faults {
 		p.AddRule(r)
 	}
+	for _, r := range f.P.Schedule.Rules() {
+		p.AddRule(r)
+	}
 	return p
 }
 
@@ -262,6 +265,12 @@ func (p *FaultPlane) StallNodeFor(node topo.NodeID, dur sim.Time) {
 	p.StallNode(node)
 	p.f.S.After(dur, func() { p.ResumeNode(node) })
 }
+
+// CorruptLedger opens one ledger entry that nothing will ever close —
+// planted silent data loss. The quiescence audit (injected == recovered +
+// condemned) must trip on it; the soak harness plants corrupt entries to
+// prove its failure detection and bisection actually fire.
+func (p *FaultPlane) CorruptLedger() { p.Stats.DropsData++ }
 
 // ---- Rule evaluation ----
 

@@ -49,10 +49,12 @@ type LinkMeter struct {
 	head  int
 	count int
 
-	// Sampler state: the busy integral at the previous sample, and the
-	// instruments bound on first sample.
+	// Sampler state: the busy integral at the previous sample, the
+	// instruments bound on first sample, and whether Flush already closed
+	// the final window (so the quiesce path is idempotent).
 	lastBusy sim.Time
 	lastT    sim.Time
+	closed   bool
 	util     *telemetry.Series
 	waitG    *telemetry.Gauge
 	depthG   *telemetry.Gauge
@@ -91,16 +93,54 @@ func (mt *LinkMeter) note(arrive, free, done sim.Time) {
 // machine's RAS sampler with the canonical sample time; tel is the lane's
 // telemetry instance.
 func (mt *LinkMeter) Sample(tel *telemetry.Telemetry, now sim.Time) {
-	if mt.util == nil {
-		dl := telemetry.DirLabel(mt.Dir.String())
-		nl := telemetry.NodeLabel(int(mt.Node))
-		mt.util = tel.SeriesFor("fabric_link_utilization", dl, nl)
-		mt.waitG = tel.Reg.Gauge("fabric_link_hol_wait_ps", dl, nl)
-		mt.depthG = tel.Reg.Gauge("fabric_link_queue_high", dl, nl)
+	mt.bind(tel)
+	mt.closed = false
+	mt.appendWindow(now)
+	mt.waitG.Set(float64(mt.WaitPs))
+	mt.depthG.Set(float64(mt.QueueHigh))
+}
+
+// Flush closes the meter's final utilization window at quiescence. A plain
+// Sample at quiesce time would divide the last window's busy integral by
+// the whole drain — including the idle tail after the link's final
+// reservation completed — so a link saturated until shortly before the end
+// of the run would read near-idle. Flush instead ends the window at the
+// instant the link actually went idle (Server.BusyUntil, clamped to now),
+// reporting the active portion undiluted; it also binds and refreshes the
+// instruments, so meters are exported even on runs that enabled telemetry
+// without ever starting the sampler. Idempotent until the next Sample.
+func (mt *LinkMeter) Flush(tel *telemetry.Telemetry, now sim.Time) {
+	if mt.closed || now <= mt.lastT {
+		return
 	}
-	busy := mt.sv.BusyBy(now)
+	mt.bind(tel)
+	end := mt.sv.BusyUntil()
+	if end <= mt.lastT || end > now {
+		end = now
+	}
+	mt.appendWindow(end)
+	mt.waitG.Set(float64(mt.WaitPs))
+	mt.depthG.Set(float64(mt.QueueHigh))
+	mt.closed = true
+}
+
+// bind creates the meter's instruments on first use.
+func (mt *LinkMeter) bind(tel *telemetry.Telemetry) {
+	if mt.util != nil {
+		return
+	}
+	dl := telemetry.DirLabel(mt.Dir.String())
+	nl := telemetry.NodeLabel(int(mt.Node))
+	mt.util = tel.SeriesFor("fabric_link_utilization", dl, nl)
+	mt.waitG = tel.Reg.Gauge("fabric_link_hol_wait_ps", dl, nl)
+	mt.depthG = tel.Reg.Gauge("fabric_link_queue_high", dl, nl)
+}
+
+// appendWindow appends the utilization point for the window (lastT, end].
+func (mt *LinkMeter) appendWindow(end sim.Time) {
+	busy := mt.sv.BusyBy(end)
 	var u float64
-	if dt := now - mt.lastT; dt > 0 {
+	if dt := end - mt.lastT; dt > 0 {
 		u = float64(busy-mt.lastBusy) / float64(dt)
 		if u < 0 {
 			u = 0
@@ -108,11 +148,9 @@ func (mt *LinkMeter) Sample(tel *telemetry.Telemetry, now sim.Time) {
 			u = 1
 		}
 	}
-	mt.util.Append(now, u)
+	mt.util.Append(end, u)
 	mt.lastBusy = busy
-	mt.lastT = now
-	mt.waitG.Set(float64(mt.WaitPs))
-	mt.depthG.Set(float64(mt.QueueHigh))
+	mt.lastT = end
 }
 
 // Utilization returns the link's lifetime busy fraction at time now.

@@ -85,7 +85,7 @@ func NewCluster(kern *sim.Kernel, t *topo.Topology, p *model.Params, laneOf func
 		lanes:  make([]*Fabric, kern.Shards()),
 		ports:  make([]*NodePort, n),
 		eps:    make([]Endpoint, n),
-		faulty: len(p.Faults) > 0 || p.FaultSeed != 0,
+		faulty: len(p.Faults) > 0 || p.FaultSeed != 0 || len(p.Schedule) > 0,
 	}
 	for i := range cl.lanes {
 		cl.lanes[i] = newBareFabric(kern.Lane(i), t, p)
@@ -114,6 +114,9 @@ func NewCluster(kern *sim.Kernel, t *topo.Topology, p *model.Params, laneOf func
 			for _, r := range p.Faults {
 				pl.AddRule(r)
 			}
+			for _, r := range p.Schedule.Rules() {
+				pl.AddRule(r)
+			}
 			pt.plane = pl
 		}
 		cl.ports[id] = pt
@@ -136,6 +139,12 @@ func newBareFabric(s *sim.Sim, t *topo.Topology, p *model.Params) *Fabric {
 
 // Port returns node id's injection interface.
 func (cl *Cluster) Port(id topo.NodeID) *NodePort { return cl.ports[id] }
+
+// Plane returns node id's fault plane (nil on a fault-free cluster). The
+// machine's schedule application mutates each plane through lane-local
+// events on the owning lane's simulator; plane state must never be touched
+// from another lane while the kernel runs.
+func (cl *Cluster) Plane(id topo.NodeID) *FaultPlane { return cl.ports[id].plane }
 
 // Lane returns the lane index owning node id.
 func (cl *Cluster) Lane(id topo.NodeID) int { return cl.laneOf[id] }

@@ -95,14 +95,16 @@ type Node struct {
 // New builds a machine over the given topology.
 func New(p model.Params, tp *topo.Topology) *Machine {
 	s := sim.New()
-	return &Machine{
+	m := &Machine{
 		S:      s,
 		P:      p,
 		Topo:   tp,
-		Fab:    fabric.New(s, tp, &p),
 		OSKind: func(topo.NodeID) oskernel.Kind { return oskernel.Catamount },
 		nodes:  make(map[topo.NodeID]*Node),
 	}
+	m.Fab = fabric.New(s, tp, &m.P)
+	m.applySchedule()
+	return m
 }
 
 // NewPair is the two-node micro-benchmark machine (the NetPIPE setup):
@@ -260,29 +262,34 @@ func (m *Machine) EnableGoBackN() {
 // Faults returns the fabric's fault-injection plane, creating it on first
 // use. Scenarios configure rules either up front via Params.Faults or at
 // runtime through the plane (AddRule, LinkDownFor, StallNodeFor, ...);
-// either way the plane's seeded PRNG keeps the run reproducible.
+// either way the plane's seeded PRNG keeps the run reproducible. Sharded
+// machines keep one plane per source node, so there is no single plane to
+// hand out — declare faults via Params.Faults or Params.Schedule instead.
 func (m *Machine) Faults() *fabric.FaultPlane {
-	m.seqOnly("runtime fault-plane access (configure Params.Faults up front)")
+	m.seqOnly("runtime fault-plane access (declare Params.Faults or Params.Schedule up front)")
 	return m.Fab.Faults()
 }
 
 // InjectFault appends one fault rule at runtime.
 func (m *Machine) InjectFault(r model.FaultRule) {
-	m.seqOnly("runtime fault injection (configure Params.Faults up front)")
+	m.seqOnly("runtime fault injection (declare Params.Faults or a Params.Schedule burst up front)")
 	m.Fab.Faults().AddRule(r)
 }
 
 // StallNodeFor holds all traffic destined to a node for dur, releasing it
-// in arrival order — a hung NIC that later resumes.
+// in arrival order — a hung NIC that later resumes. On sharded machines
+// use a Params.Schedule stall entry, which plants the same window as
+// lane-local events before the kernel starts.
 func (m *Machine) StallNodeFor(node topo.NodeID, dur sim.Time) {
-	m.seqOnly("StallNodeFor")
+	m.seqOnly("StallNodeFor (put a stall entry in Params.Schedule)")
 	m.Fab.Faults().StallNodeFor(node, dur)
 }
 
 // LinkDownFor takes the directed link leaving node in direction d out of
-// service for dur; messages routed across it are dropped meanwhile.
+// service for dur; messages routed across it are dropped meanwhile. On
+// sharded machines use a Params.Schedule linkdown entry.
 func (m *Machine) LinkDownFor(node topo.NodeID, d topo.Dir, dur sim.Time) {
-	m.seqOnly("LinkDownFor")
+	m.seqOnly("LinkDownFor (put a linkdown entry in Params.Schedule)")
 	m.Fab.Faults().LinkDownFor(node, d, dur)
 }
 
@@ -372,10 +379,36 @@ func (m *Machine) Run() {
 	if m.sampler != nil && !m.sampler.halted {
 		// On a sharded machine every lane's clock reads the final horizon
 		// here (RunUntil sets it), which is shard-invariant, so the closing
-		// sample lands at the same timestamp at every shard count.
+		// sample lands at the same timestamp at every shard count. The
+		// closing sample flushes link meters instead of sampling them, so
+		// the final utilization window ends when each link went idle rather
+		// than being diluted across the drain to quiescence.
+		m.sampler.closing = true
 		m.sampler.sampleAt(m.S.Now())
 	}
+	m.flushMeters()
 	m.checkLedger()
+}
+
+// flushMeters closes every link meter's final utilization window at
+// quiesce time — covering machines that enabled telemetry without ever
+// starting the sampler (whose meters would otherwise never be exported)
+// and meters the closing sample already flushed (Flush is idempotent).
+func (m *Machine) flushMeters() {
+	now := m.S.Now()
+	if m.kern != nil {
+		for i, tel := range m.tels {
+			for _, mt := range m.cl.LaneFabric(i).Meters() {
+				mt.Flush(tel, now)
+			}
+		}
+		return
+	}
+	if m.tel != nil {
+		for _, mt := range m.Fab.Meters() {
+			mt.Flush(m.tel, now)
+		}
+	}
 }
 
 // RunUntil executes the simulation up to a virtual-time horizon.

@@ -84,6 +84,11 @@ type Sampler struct {
 	lastAt sim.Time
 	took   bool
 
+	// closing marks the final quiesce-time sample: link meters are flushed
+	// (window ends when the link went idle) instead of sampled (window
+	// diluted across the drain). Set by Machine.Run.
+	closing bool
+
 	// Samples counts ticks taken, for tests and reports.
 	Samples int
 }
@@ -195,7 +200,7 @@ func (sp *Sampler) sampleAt(now sim.Time) {
 			f := m.cl.LaneFabric(i)
 			sp.fabs[i].append(now, f.Stats)
 			for _, mt := range f.Meters() {
-				mt.Sample(m.tels[i], now)
+				sp.meterAt(mt, m.tels[i], now)
 			}
 		}
 		sp.kernWindows.Append(now, float64(m.kern.Windows))
@@ -203,10 +208,21 @@ func (sp *Sampler) sampleAt(now sim.Time) {
 	}
 	sp.fabs[0].append(now, m.Fab.Stats)
 	for _, mt := range m.Fab.Meters() {
-		mt.Sample(m.tel, now)
+		sp.meterAt(mt, m.tel, now)
 	}
 	sp.simFired.Append(now, float64(m.S.Fired))
 	sp.simPending.Append(now, float64(m.S.Pending()))
+}
+
+// meterAt advances one link meter: a periodic tick samples the window
+// ending now; the closing quiesce sample flushes instead, ending the final
+// window at the instant the link went idle.
+func (sp *Sampler) meterAt(mt *fabric.LinkMeter, tel *telemetry.Telemetry, now sim.Time) {
+	if sp.closing {
+		mt.Flush(tel, now)
+		return
+	}
+	mt.Sample(tel, now)
 }
 
 // append records one lane's fabric counters at time now.

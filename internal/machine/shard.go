@@ -42,6 +42,7 @@ func NewSharded(p model.Params, tp *topo.Topology, shards int) *Machine {
 		kern:   kern,
 	}
 	m.cl = fabric.NewCluster(kern, tp, &m.P, laneOf)
+	m.applySchedule()
 	return m
 }
 

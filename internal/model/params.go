@@ -154,6 +154,13 @@ type Params struct {
 	// bit-identically. Zero selects the plane's fixed default seed.
 	FaultSeed int64
 
+	// Schedule is the declarative timed-fault plan (see schedule.go): link
+	// outages, node stalls, firmware restarts and windowed fault bursts,
+	// applied deterministically at machine construction. Unlike the runtime
+	// scenario helpers it works on sharded machines too — entries become
+	// pre-scheduled lane-local events, never cross-lane calls.
+	Schedule FaultSchedule
+
 	// ---- Host processor and operating systems (paper §3.3) ----
 
 	// HostHz is the compute-node processor clock: 2.0 GHz Opteron (§5.1).

@@ -68,6 +68,13 @@ func (sv *Server) SubmitAfter(t Time, d Time, fn func()) Time {
 	return done
 }
 
+// BusyUntil reports the completion time of the last accepted work — the
+// instant the server's backlog drains (zero if never used). Unlike FreeAt
+// it is not clamped to the current time, so observers closing a
+// measurement window after quiescence can see when the resource actually
+// went idle.
+func (sv *Server) BusyUntil() Time { return sv.busyUntil }
+
 // FreeAt reports when the server next becomes idle (now if it already is).
 func (sv *Server) FreeAt() Time {
 	if sv.busyUntil < sv.s.now {

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Compare `go test -benchmem` output against the "benchmarks" object of a
+# baseline JSON, in both directions:
+#
+#   - every Benchmark line in the output must have a baseline entry (a
+#     newly gated benchmark must be added to the baseline file), and
+#   - every baseline key must appear in the output (a baseline whose
+#     benchmark the gate pattern no longer runs is a rotted gate — the
+#     benchmark silently stopped being checked).
+#
+# allocs/op is deterministic and must match exactly; ns/op over 3x the
+# baseline only warns (wall clock moves with the host machine).
+#
+# Usage: bench_gate.sh <bench-output-file> <baseline-json>
+# Covered by scripts/check_selftest.sh.
+set -e
+out_file=${1:?usage: bench_gate.sh <bench-output-file> <baseline-json>}
+json=${2:?usage: bench_gate.sh <bench-output-file> <baseline-json>}
+
+# The "benchmarks" object only — other sections (seed_reference,
+# torus_halo) repeat keys with values that are not gates.
+benchobj() {
+    awk '/"benchmarks"[[:space:]]*:/{f=1;next} f&&/^[[:space:]]*}/{f=0} f' "$json"
+}
+
+fail=0
+matched=0
+# allocs/op is column 7 of `go test -benchmem` output. The output name
+# carries a -GOMAXPROCS suffix (BenchmarkSimulatedPut-8) that the baseline
+# keys do not (and no suffix at GOMAXPROCS=1).
+while read -r name _ ns _ _ _ allocs _; do
+    case "$name" in Benchmark*) ;; *) continue ;; esac
+    name=${name%-*}
+    base=$(benchobj |
+        sed -n "s/.*\"$name\"[[:space:]]*:[[:space:]]*{[[:space:]]*\"ns_per_op\"[[:space:]]*:[[:space:]]*\([0-9.]*\)[[:space:]]*,[[:space:]]*\"allocs_per_op\"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p" |
+        head -1)
+    if [ -z "$base" ]; then
+        echo "FAIL: $name is gated but has no baseline in $json — add it to the \"benchmarks\" object"
+        fail=1
+        continue
+    fi
+    matched=$((matched + 1))
+    base_ns=${base% *}
+    base_allocs=${base#* }
+    if [ "$allocs" != "$base_allocs" ]; then
+        echo "FAIL: $name allocs/op = $allocs, baseline $base_allocs"
+        fail=1
+    fi
+    over=$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { print (ns > 3 * base) ? 1 : 0 }')
+    if [ "$over" = "1" ]; then
+        echo "WARN: $name ns/op = $ns, baseline $base_ns (>3x; machine-dependent, not fatal)"
+    fi
+done <"$out_file"
+
+# Reverse direction: baseline keys the run never exercised.
+for key in $(benchobj | sed -n 's/^[[:space:]]*"\(Benchmark[^"]*\)".*/\1/p'); do
+    if ! grep -q "^$key\(-[0-9][0-9]*\)\{0,1\}[[:space:]]" "$out_file"; then
+        echo "FAIL: baseline $key in $json was not exercised by the benchmark run (gate pattern rot?)"
+        fail=1
+    fi
+done
+
+if [ "$matched" = "0" ]; then
+    echo "FAIL: no benchmark matched a baseline in $json (key or format drift?)"
+    fail=1
+fi
+[ "$fail" = "0" ] || exit 1
+echo "bench_gate: $matched benchmarks checked against baselines"

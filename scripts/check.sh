@@ -16,6 +16,9 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== bench gate self-test =="
+scripts/check_selftest.sh
+
 echo "== go vet =="
 go vet ./...
 
@@ -48,51 +51,17 @@ if [ -z "$out" ]; then
 fi
 echo "$out"
 
-fail=0
-matched=0
-# allocs/op is column 7 of `go test -benchmem` output; it must match the
-# baseline exactly. ns/op (column 3) may drift up to 3x before we flag it —
-# the point is catching a reintroduced per-event allocation or a gross
-# slowdown, not measuring the host.
-while read -r name _ ns _ _ _ allocs _; do
-    [ -z "$name" ] && continue
-    # The output name carries a -GOMAXPROCS suffix (BenchmarkSimulatedPut-8)
-    # that the baseline keys do not.
-    name=${name%-*}
-    # Look the baseline up inside the "benchmarks" object only (the
-    # seed_reference section repeats a key with pre-optimization values),
-    # tolerating any whitespace layout.
-    base=$(awk '/"benchmarks"[[:space:]]*:/{f=1;next} f&&/^[[:space:]]*}/{f=0} f' BENCH_substrate.json |
-        sed -n "s/.*\"$name\"[[:space:]]*:[[:space:]]*{[[:space:]]*\"ns_per_op\"[[:space:]]*:[[:space:]]*\([0-9.]*\)[[:space:]]*,[[:space:]]*\"allocs_per_op\"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p" |
-        head -1)
-    if [ -z "$base" ]; then
-        echo "WARN: $name has no baseline in BENCH_substrate.json"
-        continue
-    fi
-    matched=$((matched + 1))
-    base_ns=${base% *}
-    base_allocs=${base#* }
-    if [ "$allocs" != "$base_allocs" ]; then
-        echo "FAIL: $name allocs/op = $allocs, baseline $base_allocs"
-        fail=1
-    fi
-    over=$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { print (ns > 3 * base) ? 1 : 0 }')
-    if [ "$over" = "1" ]; then
-        echo "WARN: $name ns/op = $ns, baseline $base_ns (>3x; machine-dependent, not fatal)"
-    fi
-done <<EOF
-$out
-EOF
-
-if [ "$matched" = "0" ]; then
-    echo "FAIL: no benchmark matched a baseline in BENCH_substrate.json (key or format drift?)"
-    fail=1
-fi
-if [ "$fail" != "0" ]; then
+# Baseline comparison lives in bench_gate.sh (self-tested above). It fails
+# on allocs/op drift, on a gated benchmark with no baseline, and on a
+# baseline the gate pattern no longer runs.
+tmp_bench=$(mktemp)
+echo "$out" >"$tmp_bench"
+if ! scripts/bench_gate.sh "$tmp_bench" BENCH_substrate.json; then
+    rm -f "$tmp_bench"
     echo "check.sh: substrate benchmark regression"
     exit 1
 fi
-echo "check.sh: $matched benchmarks checked against baselines"
+rm -f "$tmp_bench"
 
 echo "== sharded kernel: 512-node torus halo (BenchmarkTorusHalo*) =="
 # Three arms of the identical simulated workload: shards=1 (sequential

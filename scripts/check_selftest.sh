@@ -1,0 +1,76 @@
+#!/bin/sh
+# Self-test for scripts/bench_gate.sh: drives the gate with synthetic
+# fixtures and asserts it passes and fails in the right places. A gate
+# that silently stops gating is worse than no gate — this is the guard
+# against that failure mode, and check.sh runs it on every invocation.
+set -e
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cat >"$tmp/base.json" <<'JSON'
+{
+  "benchmarks": {
+    "BenchmarkAlpha": { "ns_per_op": 10.0, "allocs_per_op": 0 },
+    "BenchmarkBeta": { "ns_per_op": 100.0, "allocs_per_op": 2 }
+  },
+  "seed_reference": {
+    "comment": "must be ignored by the gate",
+    "BenchmarkAlpha": { "ns_per_op": 99.0, "allocs_per_op": 9 }
+  }
+}
+JSON
+
+ok=0
+expect() {
+    want=$1
+    label=$2
+    outfile=$3
+    if scripts/bench_gate.sh "$outfile" "$tmp/base.json" >"$tmp/gate.out" 2>&1; then
+        got=pass
+    else
+        got=fail
+    fi
+    if [ "$got" != "$want" ]; then
+        echo "SELFTEST FAIL: $label: gate result $got, want $want; gate output:"
+        cat "$tmp/gate.out"
+        exit 1
+    fi
+    ok=$((ok + 1))
+}
+
+# 1. Matching run: both benchmarks present, allocs exact -> pass. Also
+#    proves the seed_reference allocs (9) do not shadow the real baseline.
+cat >"$tmp/good.out" <<'EOF'
+BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+EOF
+expect pass "matching run" "$tmp/good.out"
+
+# 2. A gated benchmark missing from the baseline file -> fail loudly
+#    (this was a WARN once; a new benchmark must get a baseline).
+cat >"$tmp/extra.out" <<'EOF'
+BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkGamma-8   	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+EOF
+expect fail "benchmark without baseline" "$tmp/extra.out"
+
+# 3. A baseline key the run never exercised (gate pattern rot) -> fail.
+cat >"$tmp/short.out" <<'EOF'
+BenchmarkAlpha	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
+EOF
+expect fail "baseline not exercised" "$tmp/short.out"
+
+# 4. allocs/op drift -> fail.
+cat >"$tmp/alloc.out" <<'EOF'
+BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       1 allocs/op
+BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+EOF
+expect fail "allocs/op regression" "$tmp/alloc.out"
+
+# 5. Empty run output -> fail (the original silent-rot failure mode).
+: >"$tmp/empty.out"
+expect fail "empty benchmark output" "$tmp/empty.out"
+
+echo "check_selftest: $ok gate scenarios behaved as expected"
