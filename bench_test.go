@@ -377,6 +377,48 @@ func BenchmarkTorusHaloShard4SamplerOn(b *testing.B) {
 	}
 }
 
+// BenchmarkTorusCollective runs the 512-rank (8×8×8) MPI
+// allreduce/broadcast-tree workload on four event lanes — the
+// machine-scale collective arm of the workload suite. ns/op is the
+// wall-clock cost of the whole simulated job; sim_us is its
+// (shard-invariant) virtual completion time. scripts/check.sh gates it
+// against BENCH_substrate.json.
+func BenchmarkTorusCollective(b *testing.B) {
+	b.ReportAllocs()
+	cfg := experiments.DefaultCollectiveConfig()
+	cfg.Shards = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TorusCollective(cfg)
+		if len(r.Errors) > 0 {
+			b.Fatalf("collective run failed: %s", r.Errors[0])
+		}
+		b.ReportMetric(float64(r.FinishPs)/1e6, "sim_us")
+		b.ReportMetric(float64(r.Windows), "windows")
+	}
+}
+
+// BenchmarkHotSpot runs the 512-node hot-spot traffic generator on four
+// event lanes: 30% of every sender's messages converge on one victim
+// node, the maximal head-of-line-blocking case of the generator pair.
+// scripts/check.sh gates it against BENCH_substrate.json.
+func BenchmarkHotSpot(b *testing.B) {
+	b.ReportAllocs()
+	cfg := experiments.DefaultTrafficConfig()
+	cfg.Shards = 4
+	cfg.HotFrac = 0.3
+	cfg.HotNode = 219 // center of the 8x8x8 torus
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TorusTraffic(cfg)
+		if len(r.Errors) > 0 {
+			b.Fatalf("hot-spot run failed: %s", r.Errors[0])
+		}
+		b.ReportMetric(float64(r.FinishPs)/1e6, "sim_us")
+		b.ReportMetric(float64(r.Windows), "windows")
+	}
+}
+
 // BenchmarkAblationInlineOptimization removes the ≤12-byte
 // payload-in-header path (§6) and reports the small-message cost.
 func BenchmarkAblationInlineOptimization(b *testing.B) {

@@ -44,13 +44,12 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
+	"strconv"
 	"strings"
 
 	"portals3/internal/experiments"
@@ -60,7 +59,6 @@ import (
 	"portals3/internal/mpi"
 	"portals3/internal/netpipe"
 	"portals3/internal/sim"
-	"portals3/internal/telemetry"
 	"portals3/internal/topo"
 	"portals3/internal/trace"
 )
@@ -138,10 +136,18 @@ func main() {
 	flightrecEvents := flag.Int("flightrec-events", 0, "flight recorder ring capacity per node, 0 for the default")
 	dumpOnStall := flag.Int("dump-on-stall", 0, "stall detection window in simulated microseconds; a stalled flow dumps the recorder (with -flightrec)")
 	dumpOut := flag.String("dumpout", "netpipe.p3dump", "flight recorder dump file (with -flightrec; render with p3dump)")
-	torus := flag.Bool("torus", false, "run the machine-scale torus halo exchange instead of a netpipe curve")
+	torus := flag.Bool("torus", false, "run a machine-scale torus workload instead of a netpipe curve")
 	dim := flag.Int("dim", 8, "torus dimension: dim^3 nodes (with -torus)")
 	shards := flag.Int("shards", 1, "event lanes for the sharded parallel kernel (with -torus)")
 	seq := flag.Bool("seq", false, "force the sequential reference kernel, shards=1 (with -torus)")
+	workload := flag.String("workload", "halo", "torus workload: halo, collective, random, hotspot or sweep (with -torus)")
+	steps := flag.Int("steps", 0, "iterations: halo exchange steps or collective rounds, 0 for the workload default (with -torus)")
+	msgs := flag.Int("msgs", 8, "messages per sender (with -workload random/hotspot/sweep)")
+	load := flag.Float64("load", 1.0, "offered load per sender as a fraction of link line rate (with -workload random/hotspot)")
+	loads := flag.String("loads", "0.25,0.5,0.75,1.0", "comma-separated offered-load ladder (with -workload sweep)")
+	hot := flag.Int("hot", 0, "hot-spot destination node id (with -workload hotspot)")
+	hotFrac := flag.Float64("hotfrac", 0.2, "probability a message targets the hot node (with -workload hotspot)")
+	wseed := flag.Uint64("wseed", 1, "destination-stream seed (with -workload random/hotspot/sweep)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a host heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -160,6 +166,51 @@ func main() {
 	if *seq && *shards > 1 {
 		fmt.Fprintf(os.Stderr, "netpipe: conflicting flags: -seq forces the sequential reference kernel; drop -seq or -shards %d\n", *shards)
 		os.Exit(2)
+	}
+	var loadLadder []float64
+	if *torus {
+		if *dim < 3 {
+			fmt.Fprintf(os.Stderr, "netpipe: -dim %d: a torus needs dim >= 3 (smaller axes have no wraparound)\n", *dim)
+			os.Exit(2)
+		}
+		if *shards < 1 {
+			fmt.Fprintf(os.Stderr, "netpipe: -shards %d: the kernel needs at least one event lane\n", *shards)
+			os.Exit(2)
+		}
+		if nodes := *dim * *dim * *dim; *shards > nodes {
+			fmt.Fprintf(os.Stderr, "netpipe: -shards %d exceeds the %d-node torus: surplus lanes would sit permanently empty\n", *shards, nodes)
+			os.Exit(2)
+		}
+		switch *workload {
+		case "halo", "collective", "random", "hotspot", "sweep":
+		default:
+			fmt.Fprintf(os.Stderr, "netpipe: unknown -workload %q (want halo, collective, random, hotspot or sweep)\n", *workload)
+			os.Exit(2)
+		}
+		if *workload == "hotspot" {
+			if nodes := *dim * *dim * *dim; *hot < 0 || *hot >= nodes {
+				fmt.Fprintf(os.Stderr, "netpipe: -hot %d outside the %d-node torus\n", *hot, nodes)
+				os.Exit(2)
+			}
+			if *hotFrac <= 0 || *hotFrac > 1 {
+				fmt.Fprintf(os.Stderr, "netpipe: -hotfrac %g must be in (0, 1]\n", *hotFrac)
+				os.Exit(2)
+			}
+		}
+		if (*workload == "random" || *workload == "hotspot") && *load <= 0 {
+			fmt.Fprintf(os.Stderr, "netpipe: -load %g must be positive\n", *load)
+			os.Exit(2)
+		}
+		if *workload == "sweep" {
+			for _, s := range strings.Split(*loads, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil || v <= 0 {
+					fmt.Fprintf(os.Stderr, "netpipe: -loads %q: each entry must be a positive load factor\n", *loads)
+					os.Exit(2)
+				}
+				loadLadder = append(loadLadder, v)
+			}
+		}
 	}
 	if p.Schedule, err = model.ParseSchedule(*schedule); err != nil {
 		fmt.Fprintf(os.Stderr, "netpipe: -schedule: %v\n", err)
@@ -201,7 +252,12 @@ func main() {
 		if *seq {
 			n = 1
 		}
-		runTorus(p, *dim, n, *gbn, *stats, *telemetryOut, *sample)
+		runTorus(p, torusOpts{
+			workload: *workload, dim: *dim, shards: n, steps: *steps,
+			msgs: *msgs, load: *load, loads: loadLadder,
+			hot: topo.NodeID(*hot), hotFrac: *hotFrac, wseed: *wseed,
+			gbn: *gbn, stats: *stats, telemetryOut: *telemetryOut, sampleUs: *sample,
+		})
 	case *fig != "":
 		runFigures(p, *fig, *checks)
 	case *series != "":
@@ -232,41 +288,112 @@ func main() {
 	}
 }
 
-// runTorus drives the machine-scale halo exchange on the sharded kernel.
-// With telemetry on, the RAS sampler runs too (lane-local, merged at
-// snapshot time) so the export carries the per-link contention series, and
-// the per-hop-count latency-under-load summary prints after the run.
-func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut string, sampleUs int) {
+// torusOpts carries the -torus flags into the workload runners.
+type torusOpts struct {
+	workload     string
+	dim, shards  int
+	steps, msgs  int
+	load         float64
+	loads        []float64 // sweep ladder
+	hot          topo.NodeID
+	hotFrac      float64
+	wseed        uint64
+	gbn, stats   bool
+	telemetryOut string
+	sampleUs     int
+}
+
+// baseConfig assembles the TorusConfig shared by every workload from the
+// command line and the fault plan.
+func (o torusOpts) baseConfig(p model.Params) experiments.TorusConfig {
 	cfg := experiments.DefaultTorusConfig()
-	cfg.Dim = dim
-	cfg.Shards = shards
-	cfg.GoBackN = gbn
+	cfg.Dim = o.dim
+	cfg.Shards = o.shards
+	cfg.GoBackN = o.gbn
 	cfg.Faults = p.Faults
 	cfg.FaultSeed = p.FaultSeed
 	cfg.Schedule = p.Schedule
-	cfg.Telemetry = telemetryOut != ""
-	if cfg.Telemetry && sampleUs > 0 {
-		cfg.SamplePeriod = sim.Time(sampleUs) * sim.Microsecond
+	cfg.Telemetry = o.telemetryOut != ""
+	if cfg.Telemetry && o.sampleUs > 0 {
+		cfg.SamplePeriod = sim.Time(o.sampleUs) * sim.Microsecond
 	}
-	r := experiments.TorusHalo(cfg)
-	fmt.Printf("# torus halo: %d nodes (%dx%dx%d, radius %d), %d KB faces, %d steps, shards=%d\n",
-		r.Nodes, dim, dim, dim, cfg.Radius, cfg.Bytes/1024, cfg.Steps, r.Shards)
+	if o.steps > 0 {
+		cfg.Steps = o.steps
+	}
+	return cfg
+}
+
+// trafficConfig assembles the generator shape for the random/hotspot/sweep
+// workloads at one offered load.
+func (o torusOpts) trafficConfig(p model.Params, load float64) experiments.TrafficConfig {
+	return experiments.TrafficConfig{
+		TorusConfig: o.baseConfig(p),
+		Msgs:        o.msgs,
+		Load:        load,
+		HotFrac:     o.hotFrac,
+		HotNode:     o.hot,
+		Seed:        o.wseed,
+	}
+}
+
+// runTorus drives one machine-scale workload (or the latency-under-load
+// sweep) on the sharded kernel. With telemetry on, the RAS sampler runs
+// too (lane-local, merged at snapshot time) so the export carries the
+// per-link contention series, and the per-hop-count latency summary
+// prints after the run.
+func runTorus(p model.Params, o torusOpts) {
+	if o.workload == "sweep" {
+		runSweep(p, o)
+		return
+	}
+	var r experiments.TorusResult
+	switch o.workload {
+	case "halo":
+		cfg := o.baseConfig(p)
+		r = experiments.TorusHalo(cfg)
+		fmt.Printf("# torus halo: %d nodes (%dx%dx%d, radius %d), %d KB faces, %d steps, shards=%d\n",
+			r.Nodes, o.dim, o.dim, o.dim, cfg.Radius, cfg.Bytes/1024, cfg.Steps, r.Shards)
+	case "collective":
+		cfg := experiments.DefaultCollectiveConfig()
+		base := o.baseConfig(p)
+		base.Bytes, base.Steps = cfg.Bytes, cfg.Steps
+		if o.steps > 0 {
+			base.Steps = o.steps
+		}
+		r = experiments.TorusCollective(base)
+		fmt.Printf("# torus collective: %d ranks (%dx%dx%d), %d-byte vectors, %d allreduce+bcast rounds, shards=%d\n",
+			r.Nodes, o.dim, o.dim, o.dim, base.Bytes, base.Steps, r.Shards)
+	case "random":
+		cfg := o.trafficConfig(p, o.load)
+		cfg.HotFrac = 0
+		r = experiments.TorusTraffic(cfg)
+		fmt.Printf("# torus uniform traffic: %d nodes (%dx%dx%d), %d x %d B per sender at load %.2f, shards=%d\n",
+			r.Nodes, o.dim, o.dim, o.dim, cfg.Msgs, cfg.Bytes, cfg.Load, r.Shards)
+	case "hotspot":
+		cfg := o.trafficConfig(p, o.load)
+		r = experiments.TorusTraffic(cfg)
+		fmt.Printf("# torus hot-spot traffic: %d nodes (%dx%dx%d), %d x %d B per sender at load %.2f, %.0f%% -> node %d, shards=%d\n",
+			r.Nodes, o.dim, o.dim, o.dim, cfg.Msgs, cfg.Bytes, cfg.Load, 100*cfg.HotFrac, cfg.HotNode, r.Shards)
+	}
 	fmt.Printf("finished at %.1f us simulated, %d kernel windows\n",
 		float64(r.FinishPs)/1e6, r.Windows)
-	if stats {
+	if o.stats {
 		fmt.Println()
 		fmt.Print(r.StatsText)
 	}
 	if r.FaultsLine != "" {
 		fmt.Printf("fault plane: %s\n", r.FaultsLine)
 	}
-	if telemetryOut != "" {
-		if err := os.WriteFile(telemetryOut, r.TelemetryJSON, 0o644); err != nil {
+	if o.telemetryOut != "" {
+		if err := os.WriteFile(o.telemetryOut, r.TelemetryJSON, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		renderTorusLoad(r.TelemetryJSON)
-		fmt.Printf("telemetry written to %s (render with p3stat)\n", telemetryOut)
+		if rows, err := experiments.HopCurve(r.TelemetryJSON); err == nil && len(rows) > 0 {
+			fmt.Println()
+			experiments.RenderHopCurve(os.Stdout, rows)
+		}
+		fmt.Printf("telemetry written to %s (render with p3stat)\n", o.telemetryOut)
 	}
 	for _, e := range r.Errors {
 		fmt.Fprintln(os.Stderr, "ERROR: "+e)
@@ -276,85 +403,73 @@ func runTorus(p model.Params, dim, shards int, gbn, stats bool, telemetryOut str
 	}
 }
 
-// renderTorusLoad prints the latency-under-load summary from the run's
-// telemetry export: per routing distance, delivered messages with their
-// end-to-end latency next to the link-level head-of-line blocking their
-// traversals saw.
-func renderTorusLoad(telemetryJSON []byte) {
-	e, err := telemetry.ReadJSON(bytes.NewReader(telemetryJSON))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return
+// runSweep runs the uniform traffic generator once per offered load and
+// prints each arm's per-hop-count latency curve plus a closing summary —
+// the latency-under-load methodology of EXPERIMENTS.md. Telemetry is
+// forced on (the curves come from it); with -telemetry set, each arm's
+// export lands in LOAD-prefixed files.
+func runSweep(p model.Params, o torusOpts) {
+	fmt.Printf("# latency-under-load sweep: %d nodes (%dx%dx%d), %d x %d B per sender, loads %v, shards=%d\n",
+		o.dim*o.dim*o.dim, o.dim, o.dim, o.dim, o.msgs, experiments.DefaultTorusConfig().Bytes, o.loads, o.shards)
+	type arm struct {
+		load            float64
+		finishPs        int64
+		rows            []experiments.HopRow
+		e2eMean, e2eP99 float64
 	}
-	type hopRow struct {
-		msgs, traversals uint64
-		e2eMean, e2eP99  float64
-		holMean, holP99  float64
-	}
-	rows := make(map[int]*hopRow)
-	hopOf := func(labels string) int {
-		const key = `hops="`
-		i := strings.Index(labels, key)
-		if i < 0 {
-			return -1
+	arms := make([]arm, 0, len(o.loads))
+	failed := false
+	for _, load := range o.loads {
+		cfg := o.trafficConfig(p, load)
+		cfg.HotFrac = 0
+		cfg.Telemetry = true
+		if cfg.SamplePeriod == 0 {
+			cfg.SamplePeriod = sim.Time(o.sampleUs) * sim.Microsecond
 		}
-		rest := labels[i+len(key):]
-		j := strings.IndexByte(rest, '"')
-		if j < 0 {
-			return -1
+		r := experiments.TorusTraffic(cfg)
+		for _, e := range r.Errors {
+			fmt.Fprintln(os.Stderr, "ERROR: "+e)
+			failed = true
 		}
-		n := 0
-		for _, c := range rest[:j] {
-			if c < '0' || c > '9' {
-				return -1
-			}
-			n = n*10 + int(c-'0')
+		rows, err := experiments.HopCurve(r.TelemetryJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
 		}
-		return n
-	}
-	row := func(labels string) *hopRow {
-		h := hopOf(labels)
-		if h < 0 {
-			return nil
-		}
-		if rows[h] == nil {
-			rows[h] = &hopRow{}
-		}
-		return rows[h]
-	}
-	mean := func(m telemetry.ExportMetric) float64 {
-		if m.Count == 0 {
-			return 0
-		}
-		return float64(m.Sum) / float64(m.Count)
-	}
-	for _, m := range e.Metrics {
-		switch m.Name {
-		case "portals_msg_e2e_by_hops_ps":
-			if r := row(m.Labels); r != nil {
-				r.msgs, r.e2eMean, r.e2eP99 = m.Count, mean(m), float64(m.P99)
-			}
-		case "fabric_link_hol_wait_by_hops_ps":
-			if r := row(m.Labels); r != nil {
-				r.traversals, r.holMean, r.holP99 = m.Count, mean(m), float64(m.P99)
+		a := arm{load: load, finishPs: r.FinishPs, rows: rows}
+		var msgs uint64
+		for _, row := range rows {
+			a.e2eMean += row.E2EMeanPs * float64(row.Msgs)
+			msgs += row.Msgs
+			if row.E2EP99Ps > a.e2eP99 {
+				a.e2eP99 = row.E2EP99Ps
 			}
 		}
+		if msgs > 0 {
+			a.e2eMean /= float64(msgs)
+		}
+		arms = append(arms, a)
+		fmt.Printf("\n== load %.2f (finished at %.1f us, %d kernel windows)\n",
+			load, float64(r.FinishPs)/1e6, r.Windows)
+		experiments.RenderHopCurve(os.Stdout, rows)
+		if o.telemetryOut != "" {
+			path := fmt.Sprintf("load%.2f-%s", load, o.telemetryOut)
+			if err := os.WriteFile(path, r.TelemetryJSON, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry written to %s (render with p3stat)\n", path)
+		}
 	}
-	if len(rows) == 0 {
-		return
+	fmt.Printf("\nlatency vs offered load:\n")
+	fmt.Printf("  %6s %12s %12s %12s\n", "load", "finish", "e2e-mean", "e2e-p99")
+	for _, a := range arms {
+		fmt.Printf("  %6.2f %10.1fus %10.3fus %10.3fus\n",
+			a.load, float64(a.finishPs)/1e6, a.e2eMean/1e6, a.e2eP99/1e6)
 	}
-	hops := make([]int, 0, len(rows))
-	for h := range rows {
-		hops = append(hops, h)
-	}
-	sort.Ints(hops)
-	fmt.Printf("\nlatency under load by hop count:\n")
-	fmt.Printf("  %4s %8s %12s %12s %12s %12s %12s\n",
-		"hops", "msgs", "e2e-mean", "e2e-p99", "traversals", "hol-mean", "hol-p99")
-	for _, h := range hops {
-		r := rows[h]
-		fmt.Printf("  %4d %8d %10.3fus %10.3fus %12d %10.3fus %10.3fus\n",
-			h, r.msgs, r.e2eMean/1e6, r.e2eP99/1e6, r.traversals, r.holMean/1e6, r.holP99/1e6)
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 func main() {
 	traceIn := flag.String("trace", "", "summarize a chrome-trace timeline instead of telemetry JSON")
+	top := flag.Int("top", 16, "rows shown per table section; 0 shows everything")
 	flag.Parse()
 
 	switch {
@@ -30,7 +31,7 @@ func main() {
 		}
 	case flag.NArg() > 0:
 		for _, path := range flag.Args() {
-			if err := renderTelemetry(path); err != nil {
+			if err := renderTelemetry(path, *top); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -55,7 +56,7 @@ func summarizeTrace(path string) error {
 	return nil
 }
 
-func renderTelemetry(path string) error {
+func renderTelemetry(path string, top int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -65,14 +66,31 @@ func renderTelemetry(path string) error {
 	if err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
-	render(e, path)
+	render(e, path, top)
 	return nil
 }
 
 // ps-valued metric names render in microseconds; everything else raw.
 func isPs(name string) bool { return strings.HasSuffix(name, "_ps") }
 
-func render(e *telemetry.Export, path string) {
+// capLen is the row count a section shows under -top; top <= 0 disables
+// capping. A machine-scale export carries thousands of per-node and
+// per-link rows — uncapped tables would bury the summary they exist for.
+func capLen(n, top int) int {
+	if top <= 0 || n < top {
+		return n
+	}
+	return top
+}
+
+// footer prints the elision line after a capped section.
+func footer(shown, total int, unit string) {
+	if shown < total {
+		fmt.Printf("  ... %d of %d %s shown (-top=0 for all)\n", shown, total, unit)
+	}
+}
+
+func render(e *telemetry.Export, path string, top int) {
 	fmt.Printf("# %s  (sim time %.3f us)\n", path, float64(e.SimTimePs)/1e6)
 
 	if bd, ok := e.Breakdown(); ok {
@@ -93,7 +111,7 @@ func render(e *telemetry.Export, path string) {
 		fmt.Printf("\nhistograms:\n")
 		fmt.Printf("  %-44s %8s %12s %12s %12s %12s %12s\n",
 			"name", "count", "mean", "p50", "p99", "p999", "max")
-		for _, m := range hists {
+		for _, m := range hists[:capLen(len(hists), top)] {
 			name := m.Name
 			if m.Labels != "" {
 				name += "{" + m.Labels + "}"
@@ -111,27 +129,29 @@ func render(e *telemetry.Export, path string) {
 					name, m.Count, mean, m.P50, m.P99, m.P999, m.Max)
 			}
 		}
+		footer(capLen(len(hists), top), len(hists), "histograms")
 	}
 
-	renderOccupancy(e)
-	renderLinkContention(e)
+	renderOccupancy(e, top)
+	renderLinkContention(e, top)
 	renderHopLatency(e)
 
 	if len(scalars) > 0 {
 		fmt.Printf("\ncounters and gauges:\n")
-		for _, m := range scalars {
+		for _, m := range scalars[:capLen(len(scalars), top)] {
 			name := m.Name
 			if m.Labels != "" {
 				name += "{" + m.Labels + "}"
 			}
 			fmt.Printf("  %-60s %14g\n", name, m.Value)
 		}
+		footer(capLen(len(scalars), top), len(scalars), "counters")
 	}
 
 	if len(e.Series) > 0 {
 		fmt.Printf("\nsampler series:\n")
 		fmt.Printf("  %-44s %8s %14s %14s\n", "name", "samples", "first", "last")
-		for _, s := range e.Series {
+		for _, s := range e.Series[:capLen(len(e.Series), top)] {
 			name := s.Name
 			if s.Labels != "" {
 				name += "{" + s.Labels + "}"
@@ -142,6 +162,7 @@ func render(e *telemetry.Export, path string) {
 			}
 			fmt.Printf("  %-44s %8d %14g %14g\n", name, len(s.Values), first, last)
 		}
+		footer(capLen(len(e.Series), top), len(e.Series), "series")
 	}
 	fmt.Println()
 }
@@ -206,7 +227,7 @@ type linkRow struct {
 // window is flushed at the instant each link went idle, so late-run peaks
 // count too), with their queue-depth watermarks and accumulated
 // head-of-line blocking time.
-func renderLinkContention(e *telemetry.Export) {
+func renderLinkContention(e *telemetry.Export, top int) {
 	rows := make(map[string]*linkRow)
 	row := func(labels string) *linkRow {
 		node, dir := nodeOf(labels), labelVal(labels, "dir")
@@ -265,11 +286,7 @@ func renderLinkContention(e *telemetry.Export) {
 		}
 		return a.dir < b.dir
 	})
-	const topN = 16
-	shown := all
-	if len(shown) > topN {
-		shown = shown[:topN]
-	}
+	shown := all[:capLen(len(all), top)]
 	fmt.Printf("\nlink contention (top %d of %d directed links by peak utilization):\n",
 		len(shown), len(all))
 	fmt.Printf("  %6s %5s %9s %10s %14s\n", "node", "dir", "peak-util", "queue-high", "hol-wait")
@@ -277,6 +294,7 @@ func renderLinkContention(e *telemetry.Export) {
 		fmt.Printf("  %6d %5s %8.1f%% %10g %12.3fus\n",
 			r.node, r.dir, 100*r.util, r.queueHigh, r.waitPs/1e6)
 	}
+	footer(len(shown), len(all), "links")
 }
 
 // hopRow pairs the two by-hop-count histograms: link-level head-of-line
@@ -349,8 +367,9 @@ func renderHopLatency(e *telemetry.Export) {
 
 // renderOccupancy assembles the firmware occupancy table from the sampler's
 // occupancy series (free now) and watermark gauges (worst case), one row
-// per node.
-func renderOccupancy(e *telemetry.Export) {
+// per node. Under -top, the most-pressured nodes show first: lowest pool
+// low-water mark, then highest event-queue high-water mark.
+func renderOccupancy(e *telemetry.Export, top int) {
 	rows := make(map[int]*occRow)
 	row := func(labels string) *occRow {
 		id := nodeOf(labels)
@@ -401,14 +420,34 @@ func renderOccupancy(e *telemetry.Export) {
 	if !seen {
 		return
 	}
+	minLow := func(r *occRow) float64 {
+		m := r.rxLow
+		if r.txLow < m {
+			m = r.txLow
+		}
+		if r.srcLow < m {
+			m = r.srcLow
+		}
+		return m
+	}
 	ids := make([]int, 0, len(rows))
 	for id := range rows {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
-	fmt.Printf("\nfirmware occupancy (free now / low-water; evq depth / high-water):\n")
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := rows[ids[i]], rows[ids[j]]
+		if la, lb := minLow(a), minLow(b); la != lb {
+			return la < lb
+		}
+		if a.evqHigh != b.evqHigh {
+			return a.evqHigh > b.evqHigh
+		}
+		return ids[i] < ids[j]
+	})
+	shown := ids[:capLen(len(ids), top)]
+	fmt.Printf("\nfirmware occupancy (free now / low-water; evq depth / high-water; most-pressured first):\n")
 	fmt.Printf("  %6s %16s %16s %16s %14s\n", "node", "rx-pend", "tx-pend", "sources", "evq")
-	for _, id := range ids {
+	for _, id := range shown {
 		r := rows[id]
 		fmt.Printf("  %6d %16s %16s %16s %14s\n", id,
 			fmt.Sprintf("%g lo %g", r.rxFree, r.rxLow),
@@ -416,4 +455,5 @@ func renderOccupancy(e *telemetry.Export) {
 			fmt.Sprintf("%g lo %g", r.srcFree, r.srcLow),
 			fmt.Sprintf("%g hi %g", r.evq, r.evqHigh))
 	}
+	footer(len(shown), len(ids), "nodes")
 }

@@ -124,36 +124,10 @@ var haloDirs = [6]topo.Dir{
 
 // TorusHalo runs one halo exchange and verifies every received face.
 func TorusHalo(cfg TorusConfig) TorusResult {
-	if cfg.Dim < 3 {
-		panic("experiments: torus halo needs Dim >= 3 (smaller axes have no wraparound)")
-	}
 	if cfg.Radius < 1 {
 		cfg.Radius = 1
 	}
-	if cfg.Shards < 1 {
-		cfg.Shards = 1
-	}
-	p := model.Defaults()
-	p.Faults = cfg.Faults
-	p.FaultSeed = cfg.FaultSeed
-	p.Schedule = cfg.Schedule
-	tp, err := topo.XT3Torus(cfg.Dim, cfg.Dim, cfg.Dim)
-	if err != nil {
-		panic(err)
-	}
-	m := machine.NewSharded(p, tp, cfg.Shards)
-	if cfg.GoBackN || len(cfg.Faults) > 0 || len(cfg.Schedule) > 0 {
-		m.EnableGoBackN()
-	}
-	if cfg.Telemetry {
-		m.EnableTelemetry()
-	}
-	if cfg.FlightRec {
-		m.EnableFlightRecorder(0)
-	}
-	if cfg.Trace {
-		m.EnableTracing()
-	}
+	m, tp := buildTorusMachine(&cfg)
 
 	nodes := tp.Nodes()
 	B := cfg.Bytes
@@ -240,57 +214,11 @@ func TorusHalo(cfg TorusConfig) TorusResult {
 		}
 		apps[id] = app
 	}
-	// Periodic observers start once every node exists (the heartbeat driver
-	// and monitor capture the instantiated node set).
-	if cfg.SamplePeriod > 0 {
-		m.StartSampler(cfg.SamplePeriod)
-	}
-	if cfg.StallWindow > 0 {
-		m.StartStallDetector(cfg.StallWindow)
-	}
-	var ras *machine.RAS
-	if cfg.RASPeriod > 0 {
-		ras = m.StartRAS(cfg.RASPeriod)
-	}
+	ras := startObservers(m, cfg)
 	m.Run()
 
-	res := TorusResult{
-		Nodes:    nodes,
-		Shards:   cfg.Shards,
-		FinishPs: int64(m.S.Now()),
-		Windows:  m.ShardKernel().Windows,
-		Errors:   spawnErrs,
-	}
-	res.StatsText = m.Stats().String()
-	if cfg.Telemetry {
-		var tb bytes.Buffer
-		if err := m.Telemetry().WriteJSON(&tb, m.S.Now()); err != nil {
-			panic(err)
-		}
-		res.TelemetryJSON = tb.Bytes()
-	}
-	if cfg.FlightRec {
-		res.DumpBytes = m.TakeDump("end of run").Bytes()
-	}
-	if cfg.Trace {
-		var trb bytes.Buffer
-		if err := m.Trace().WriteChrome(&trb); err != nil {
-			panic(err)
-		}
-		res.TraceBytes = trb.Bytes()
-	}
-	if st, ok := m.FaultSnapshot(); ok {
-		res.FaultsLine = st.String()
-		res.FaultStats = st
-	}
-	for _, r := range m.Reports() {
-		res.Errors = append(res.Errors, "failure report: "+r.String())
-	}
-	if ras != nil {
-		for _, f := range ras.Dead() {
-			res.Errors = append(res.Errors, "ras: "+f.String())
-		}
-	}
+	res := TorusResult{Nodes: nodes, Errors: spawnErrs}
+	harvest(m, cfg, ras, &res)
 
 	// Verify every received face against the sender's pure pattern.
 	got := make([]byte, B)

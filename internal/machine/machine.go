@@ -411,8 +411,18 @@ func (m *Machine) flushMeters() {
 	}
 }
 
-// RunUntil executes the simulation up to a virtual-time horizon.
+// RunUntil executes the simulation up to a virtual-time horizon, then
+// advances the clock to (at least) t — the idiom RAS monitors and staged
+// scenario drivers use between final Run calls. On a sharded machine the
+// horizon rounds up to the kernel's next window barrier, so events within
+// lookahead−1 past t may run with their window; the rounding depends only
+// on the workload's event times, never on the partition, so a
+// RunUntil-driven run remains bit-identical at every shard count
+// (sim.Kernel.RunUntil documents the argument).
 func (m *Machine) RunUntil(t sim.Time) {
-	m.seqOnly("RunUntil")
+	if m.kern != nil {
+		m.kern.RunUntil(t)
+		return
+	}
 	m.S.RunUntil(t)
 }

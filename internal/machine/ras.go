@@ -87,7 +87,11 @@ func (r *RAS) Stop() { r.halted = true }
 // live NIC's counter, and the monitor samples at period — registered in
 // that order, so at a coinciding tick time the increment precedes the
 // read. Barrier ticks stop at kernel quiescence, so a sharded RAS does not
-// keep the machine alive and Machine.Run returns normally; a node that
+// keep the machine alive and Machine.Run returns normally. The classic
+// RunUntil idiom works sharded too: Machine.RunUntil fires the barrier
+// ticks due through its horizon even once the lanes are quiescent, so a
+// RunUntil-driven loop keeps the monitor sampling at the same virtual
+// times at every shard count. A node that
 // panics mid-run stops accruing heartbeats (NIC.Kill also halts the
 // firmware's own per-handler increments) and is declared dead three
 // monitor samples later, at the same virtual time at every shard count.

@@ -21,15 +21,29 @@ import (
 // detector — run lane-local on a sharded machine: each lane records into
 // its own tracer/telemetry instance, liveness checks fire at the kernel's
 // canonical barrier ticks (sim.Kernel.Every), and the per-lane artifacts
-// merge deterministically at snapshot time (DESIGN.md §12). Only the
-// remaining truly sequential features — RunUntil and runtime fault
-// injection — panic via seqOnly.
+// merge deterministically at snapshot time (DESIGN.md §12). RunUntil works
+// on both kernels (the sharded horizon rounds up to the next window
+// barrier, DESIGN.md §14); only runtime fault injection — the
+// Faults/InjectFault/StallNodeFor/LinkDownFor mutators, superseded by
+// Params.Schedule — still panics via seqOnly.
 
 // NewSharded builds a machine over the given topology whose nodes are
 // partitioned into `shards` parallel event lanes. Nodes are assigned to
 // lanes in contiguous blocks of the topology's Z-major id order, a pure
 // function of (node, shards, total nodes).
+//
+// shards clamps to [1, nodes]: more lanes than nodes would leave the
+// surplus lanes permanently empty (the block map id*shards/total then
+// skips lane indices, and fabric.NewCluster rejects the out-of-range
+// assignments), and the simulated results are bit-identical at every
+// shard count anyway, so the clamp only removes degenerate partitions.
 func NewSharded(p model.Params, tp *topo.Topology, shards int) *Machine {
+	if shards < 1 {
+		shards = 1
+	}
+	if n := tp.Nodes(); shards > n {
+		shards = n
+	}
 	kern := sim.NewKernel(shards, fabric.MinHandoffLatency(&p))
 	total := int64(tp.Nodes())
 	laneOf := func(id topo.NodeID) int { return int(int64(id) * int64(shards) / total) }

@@ -47,6 +47,29 @@ type Config struct {
 	EagerMax   int   // bytes; larger messages use rendezvous
 	SendCycles int64 // per-send library overhead (host cycles)
 	RecvCycles int64 // per-receive library overhead
+
+	// Receive-side resource sizing. Zero means the package default —
+	// the generous interactive-job shape (4 × 512 KiB sinks, 8192-deep
+	// EQ). Machine-scale workloads that run a rank on every node of a
+	// 1k–10k-node torus shrink these: at the defaults a 1000-rank job
+	// pins 2 GiB of sink memory on the host running the simulation.
+	NumSinks  int // unexpected-message buffers after the fence
+	SinkBytes int // bytes per sink buffer
+	EQDepth   int // MPI event queue depth
+}
+
+// normalize fills zero-valued resource fields with the package defaults.
+func (c Config) normalize() Config {
+	if c.NumSinks <= 0 {
+		c.NumSinks = numSinks
+	}
+	if c.SinkBytes <= 0 {
+		c.SinkBytes = sinkBytes
+	}
+	if c.EQDepth <= 0 {
+		c.EQDepth = eqDepth
+	}
+	return c
 }
 
 // ConfigFor derives the profile from the machine parameters.
@@ -106,7 +129,8 @@ func hdrDecode(hd uint64) (proto int, rdvSeq uint64, length int) {
 	return int(hd >> 60), hd >> 32 & (1<<28 - 1), int(uint32(hd))
 }
 
-// Sink pool shape: how unexpected eager messages are absorbed.
+// Sink pool shape: how unexpected eager messages are absorbed. These are
+// the Config defaults; machine-scale jobs override them per rank.
 const (
 	numSinks  = 4
 	sinkBytes = 512 << 10
@@ -173,10 +197,10 @@ type reqTag struct{ req *Request }
 func NewRank(api *nal.API, proc *sim.Proc, alloc func(int) core.Region,
 	p *model.Params, cfg Config, rank int, peers []core.ProcessID) (*Rank, error) {
 	r := &Rank{
-		api: api, proc: proc, alloc: alloc, p: p, cfg: cfg,
+		api: api, proc: proc, alloc: alloc, p: p, cfg: cfg.normalize(),
 		rank: rank, size: len(peers), ctx: 1, peers: peers,
 	}
-	eq, err := api.EQAlloc(eqDepth)
+	eq, err := api.EQAlloc(r.cfg.EQDepth)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +212,7 @@ func NewRank(api *nal.API, proc *sim.Proc, alloc func(int) core.Region,
 		return nil, err
 	}
 	r.fence = fence
-	for i := 0; i < numSinks; i++ {
+	for i := 0; i < r.cfg.NumSinks; i++ {
 		if err := r.addSink(); err != nil {
 			return nil, err
 		}
@@ -218,7 +242,7 @@ func (r *Rank) addSink() error {
 	if err != nil {
 		return err
 	}
-	buf := r.alloc(sinkBytes)
+	buf := r.alloc(r.cfg.SinkBytes)
 	// START events stay enabled on sinks: the moment a message begins
 	// arriving into overflow space the event queue goes non-empty, which
 	// is what lets the conditional-MDUpdate arming protocol detect a

@@ -221,6 +221,53 @@ func (k *Kernel) drain() int {
 // processes still blocked at global quiescence are deadlocked and Run
 // panics with a diagnostic.
 func (k *Kernel) Run() {
+	k.runWindows(Never)
+	k.horizon = -1
+	if p := k.blockedProcs(); p > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked across %d lanes with no pending events or mail", p, len(k.lanes)))
+	}
+}
+
+// RunUntil executes whole synchronization windows until every event at or
+// before t has run, then advances each lane's clock to at least t and fires
+// the barrier ticks due through t.
+//
+// The effective horizon rounds UP to the next window barrier: the window
+// whose minimum event time m lies at or before t runs to its full horizon
+// m+lookahead−1, so events within lookahead−1 beyond t may execute with it.
+// That smear is bounded by one hop latency and — like the window sequence
+// itself — depends only on global minimum event times, never on the
+// partition, so a horizon-driven run is bit-identical at every shard count
+// and its window prefix is exactly what a plain Run would have executed.
+//
+// Unlike Run, barrier ticks due at or before t fire even when the lanes are
+// already quiescent (events exhausted): a periodic monitor registered with
+// Every keeps observing under a RunUntil-driven loop exactly as a classic
+// Sim's self-rescheduling monitor does, without keeping the machine alive.
+// Processes still blocked past the horizon are legal here — only Run's
+// final quiescence performs the deadlock check.
+func (k *Kernel) RunUntil(t Time) {
+	k.runWindows(t)
+	// The last window may have stopped short of t (next event beyond t, or
+	// none at all); lift the remaining lane clocks so Now() reads t, exactly
+	// like Sim.RunUntil. Lanes the last horizon already carried past t keep
+	// their (shard-invariant) later clock.
+	for _, l := range k.lanes {
+		if l.Now() < t {
+			l.RunUntil(t)
+		}
+	}
+	k.horizon = -1
+	if len(k.ticks) > 0 {
+		k.fireTicks(t + 1)
+	}
+}
+
+// runWindows advances the window protocol while the minimum next-event time
+// lies at or before limit. On return all mail is drained into lanes (the
+// drain precedes the limit check) and the next pending event, if any, lies
+// beyond limit.
+func (k *Kernel) runWindows(limit Time) {
 	n := len(k.lanes)
 	// With a single scheduling core there is no parallelism to win, only
 	// per-window handoff cost to pay; run the lanes inline. The window
@@ -259,11 +306,7 @@ func (k *Kernel) Run() {
 				}
 			}
 		}
-		if !any {
-			k.horizon = -1
-			if p := k.blockedProcs(); p > 0 {
-				panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked across %d lanes with no pending events or mail", p, n))
-			}
+		if !any || m > limit {
 			return
 		}
 		if len(k.ticks) > 0 {

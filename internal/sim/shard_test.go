@@ -11,6 +11,10 @@ import (
 // shard count and returns each node's event log concatenated in node
 // order. The log must be invariant under resharding.
 func shardTrace(t *testing.T, nodes, shards int, hops int) string {
+	return shardTraceDriven(t, nodes, shards, hops, func(k *Kernel) { k.Run() })
+}
+
+func shardTraceDriven(t *testing.T, nodes, shards int, hops int, drive func(*Kernel)) string {
 	t.Helper()
 	const L = Time(100)
 	k := NewKernel(shards, L)
@@ -41,7 +45,7 @@ func shardTrace(t *testing.T, nodes, shards int, hops int) string {
 		n := n
 		k.Lane(laneOf(n)).At(Time(10+n%2), func() { step(n, hops, n) })
 	}
-	k.Run()
+	drive(k)
 	var sb strings.Builder
 	for n := 0; n < nodes; n++ {
 		for _, l := range logs[n] {
@@ -126,6 +130,85 @@ func TestKernelQuiescentTimes(t *testing.T) {
 	// three kernels (the lanes hold different initial events); what matters
 	// is intra-kernel agreement, checked above.
 	_ = finish
+}
+
+// TestKernelRunUntilPrefixInvariance: a run driven by RunUntil horizons
+// then finished with Run produces exactly the per-node event logs of a
+// plain Run, at every shard count — the window prefix executed by RunUntil
+// is what Run would have executed, and the resumed run continues it.
+func TestKernelRunUntilPrefixInvariance(t *testing.T) {
+	const nodes, hops = 8, 6
+	ref := shardTrace(t, nodes, 1, hops)
+	stepped := func(k *Kernel) {
+		for h := Time(50); h <= 900; h += 50 {
+			k.RunUntil(h)
+			if now := k.Lane(0).Now(); now < h {
+				t.Fatalf("after RunUntil(%d) lane 0 sits at %d", h, now)
+			}
+		}
+		k.Run()
+	}
+	for _, shards := range []int{1, 2, 4} {
+		if got := shardTraceDriven(t, nodes, shards, hops, stepped); got != ref {
+			t.Errorf("shards=%d: RunUntil-driven trace diverges from plain Run:\nref:\n%s\ngot:\n%s", shards, ref, got)
+		}
+	}
+}
+
+// TestKernelRunUntilHorizonRounding pins the documented semantics: the
+// window containing the limit runs to its full barrier (events within
+// lookahead−1 beyond t execute with it), later events wait, and the lane
+// clocks never read below t afterwards.
+func TestKernelRunUntilHorizonRounding(t *testing.T) {
+	k := NewKernel(2, 100)
+	var fired []Time
+	for _, at := range []Time{200, 250, 320, 700} {
+		at := at
+		k.Lane(1).At(at, func() { fired = append(fired, at) })
+	}
+	// Window m=200, horizon 299: 200 and 250 run, 320 (beyond the barrier)
+	// and 700 do not — even though 320 > t was never requested.
+	k.RunUntil(210)
+	if want := []Time{200, 250}; fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("RunUntil(210) executed %v, want %v", fired, want)
+	}
+	for i := 0; i < 2; i++ {
+		if now := k.Lane(i).Now(); now < 210 {
+			t.Fatalf("lane %d at %v after RunUntil(210)", i, now)
+		}
+	}
+	k.RunUntil(320)
+	if want := []Time{200, 250, 320}; fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("RunUntil(320) executed %v, want %v", fired, want)
+	}
+	k.Run()
+	if want := []Time{200, 250, 320, 700}; fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("final Run executed %v, want %v", fired, want)
+	}
+}
+
+// TestKernelRunUntilTicksPastQuiescence: barrier ticks due at or before the
+// horizon fire even after the lanes run dry — the property that lets a
+// sharded RAS monitor keep sampling under a RunUntil-driven loop, exactly
+// like a classic Sim's self-rescheduling monitor.
+func TestKernelRunUntilTicksPastQuiescence(t *testing.T) {
+	k := NewKernel(2, 100)
+	var ticks []Time
+	k.Every(100, func(at Time) { ticks = append(ticks, at) })
+	k.Lane(0).At(10, func() {})
+	k.RunUntil(550)
+	if want := []Time{100, 200, 300, 400, 500}; fmt.Sprint(ticks) != fmt.Sprint(want) {
+		t.Fatalf("ticks after RunUntil(550) = %v, want %v", ticks, want)
+	}
+	// A second horizon keeps the cadence without refiring anything.
+	k.RunUntil(800)
+	if want := []Time{100, 200, 300, 400, 500, 600, 700, 800}; fmt.Sprint(ticks) != fmt.Sprint(want) {
+		t.Fatalf("ticks after RunUntil(800) = %v, want %v", ticks, want)
+	}
+	k.Run() // quiescent already; must not panic or fire more ticks
+	if len(ticks) != 8 {
+		t.Fatalf("Run after RunUntil fired extra ticks: %v", ticks)
+	}
 }
 
 // TestKernelWindowCountInvariance: the window sequence depends only on the

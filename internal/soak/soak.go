@@ -40,6 +40,16 @@ import (
 const (
 	// TorusHalo is the machine-scale halo exchange on a 3x3x3 torus.
 	TorusHalo = "torus-halo"
+	// TorusCollective is the MPI allreduce/broadcast-tree workload on a
+	// 3x3x3 torus — one rank per node, binomial trees over the routed
+	// fabric.
+	TorusCollective = "torus-collective"
+	// RandTraffic is the uniform-random point-to-point generator on a
+	// 3x3x3 torus.
+	RandTraffic = "rand-traffic"
+	// HotSpot is the hot-spot point-to-point generator on a 3x3x3 torus:
+	// a fraction of every sender's messages converge on one victim node.
+	HotSpot = "hot-spot"
 	// LossyIncast is three senders converging on one receiver over a
 	// 4-node line, under a small receive pool.
 	LossyIncast = "lossy-incast"
@@ -48,7 +58,7 @@ const (
 )
 
 // Workloads lists every workload name, in campaign order.
-var Workloads = []string{TorusHalo, LossyIncast, GbnStream}
+var Workloads = []string{TorusHalo, TorusCollective, RandTraffic, HotSpot, LossyIncast, GbnStream}
 
 // soakPtl/soakMatch are the portal index and match bits the line workloads
 // attach on, as in the machine tests.
@@ -120,7 +130,7 @@ func (r *Result) Summary() string {
 // for schedules and the node-id space for generated ones.
 func Topology(workload string) (*topo.Topology, error) {
 	switch workload {
-	case TorusHalo:
+	case TorusHalo, TorusCollective, RandTraffic, HotSpot:
 		return topo.XT3Torus(3, 3, 3)
 	case LossyIncast, GbnStream:
 		return topo.New(4, 1, 1, false, false, false)
@@ -131,13 +141,21 @@ func Topology(workload string) (*topo.Topology, error) {
 
 // span is the virtual-time window generated schedules target. The line
 // workloads stream until the schedule's last window closes, so any span
-// overlaps traffic; the torus runs a fixed number of exchange steps, and
-// 400us sits inside a 2-step exchange.
+// overlaps traffic; the torus workloads run fixed iteration counts, so
+// each span must sit inside that workload's natural finish time.
 func span(workload string) sim.Time {
-	if workload == TorusHalo {
+	switch workload {
+	case TorusHalo:
 		return 400 * sim.Microsecond
+	case TorusCollective:
+		// Ranks hold at the mpi.DefaultStart barrier (500us) before any
+		// traffic flows, so the span must reach well past it.
+		return 1000 * sim.Microsecond
+	case RandTraffic, HotSpot:
+		return 150 * sim.Microsecond
+	default:
+		return 700 * sim.Microsecond
 	}
-	return 700 * sim.Microsecond
 }
 
 // Resolve returns the campaign's effective schedule: the explicit one
@@ -175,6 +193,12 @@ func Run(c Campaign) Result {
 	switch c.Workload {
 	case TorusHalo:
 		runTorus(c, sched, &res)
+	case TorusCollective:
+		runCollective(c, sched, &res)
+	case RandTraffic:
+		runTraffic(c, sched, &res, false)
+	case HotSpot:
+		runTraffic(c, sched, &res, true)
 	case LossyIncast:
 		runLine(c, sched, &res, true)
 	case GbnStream:
@@ -228,16 +252,64 @@ func runTorus(c Campaign, sched model.FaultSchedule, res *Result) {
 		StallWindow: stallWindow(sched),
 	}
 	r := experiments.TorusHalo(cfg)
+	absorb(res, &r, r.Nodes*6*cfg.Steps, c.FlightRec)
+}
+
+// absorb copies an experiments-run outcome into the campaign result and
+// applies the ledger invariant — the shared tail of every torus workload,
+// which runs its own machine inside the experiments package.
+func absorb(res *Result, r *experiments.TorusResult, msgs int, flightRec bool) {
 	res.FinishPs = r.FinishPs
-	res.Msgs = r.Nodes * 6 * cfg.Steps
+	res.Msgs = msgs
 	res.Ledger = r.FaultStats
 	if r.FaultStats.Open() != 0 {
 		res.Errors = append(res.Errors, fmt.Sprintf("ledger imbalance: %d fault(s) neither recovered nor condemned", r.FaultStats.Open()))
 	}
 	res.Errors = append(res.Errors, r.Errors...)
-	if c.FlightRec && len(r.DumpBytes) > 0 {
+	if flightRec && len(r.DumpBytes) > 0 {
 		res.Dumps = map[string][]byte{"end-of-run": r.DumpBytes}
 	}
+}
+
+// runCollective drives the MPI allreduce/broadcast-tree workload: every
+// campaign exercises the full MPI stack (sinks, eager protocol, binomial
+// trees) under the scheduled faults, with go-back-n carrying recovery.
+func runCollective(c Campaign, sched model.FaultSchedule, res *Result) {
+	cfg := experiments.TorusConfig{
+		Dim: 3, Bytes: 128, Steps: 3,
+		Shards:      c.Shards,
+		GoBackN:     true,
+		Schedule:    sched,
+		FlightRec:   c.FlightRec,
+		StallWindow: stallWindow(sched),
+	}
+	r := experiments.TorusCollective(cfg)
+	absorb(res, &r, experiments.CollectiveMsgs(r.Nodes, cfg.Steps), c.FlightRec)
+}
+
+// runTraffic drives one traffic generator — uniform-random or the 30%
+// hot-spot aimed at the torus center — throttled to a quarter of line rate
+// so the injection window stays open across the schedule's fault windows.
+func runTraffic(c Campaign, sched model.FaultSchedule, res *Result, hot bool) {
+	cfg := experiments.TrafficConfig{
+		TorusConfig: experiments.TorusConfig{
+			Dim: 3, Bytes: 512,
+			Shards:      c.Shards,
+			GoBackN:     true,
+			Schedule:    sched,
+			FlightRec:   c.FlightRec,
+			StallWindow: stallWindow(sched),
+		},
+		Msgs: 24,
+		Load: 0.25,
+		Seed: uint64(c.Seed)*0x9E3779B9 + 0xd1ce,
+	}
+	if hot {
+		cfg.HotFrac = 0.3
+		cfg.HotNode = 13 // center of the 3x3x3 torus
+	}
+	r := experiments.TorusTraffic(cfg)
+	absorb(res, &r, experiments.TrafficMsgs(cfg), c.FlightRec)
 }
 
 // runLine drives the two line workloads: incast (senders 1..3 converge on

@@ -41,12 +41,23 @@ if ! bench_raw=$(go test -run xxx \
     echo "$bench_raw"
     exit 1
 fi
-out=$(echo "$bench_raw" | grep '^Benchmark' || true)
+# The machine-scale workload benchmarks run one whole simulated job per op,
+# so they get -benchtime 1x; their baselines live in the same "benchmarks"
+# object (with an allocs tolerance band — see BENCH_substrate.json), and
+# both runs feed one bench_gate call so the reverse check sees every key.
+if ! workload_raw=$(go test -run xxx -bench 'TorusCollective$|HotSpot$' \
+    -benchtime 1x -benchmem . 2>&1); then
+    echo "FAIL: workload benchmark run exited non-zero:"
+    echo "$workload_raw"
+    exit 1
+fi
+out=$(printf '%s\n%s\n' "$bench_raw" "$workload_raw" | grep '^Benchmark' || true)
 if [ -z "$out" ]; then
     # An empty result here means the bench pattern rotted or the run was
     # silently broken — not that everything passed.
     echo "FAIL: benchmark run produced no Benchmark lines; output was:"
     echo "$bench_raw"
+    echo "$workload_raw"
     exit 1
 fi
 echo "$out"

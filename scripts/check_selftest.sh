@@ -12,7 +12,8 @@ cat >"$tmp/base.json" <<'JSON'
 {
   "benchmarks": {
     "BenchmarkAlpha": { "ns_per_op": 10.0, "allocs_per_op": 0 },
-    "BenchmarkBeta": { "ns_per_op": 100.0, "allocs_per_op": 2 }
+    "BenchmarkBeta": { "ns_per_op": 100.0, "allocs_per_op": 2 },
+    "BenchmarkLoose": { "ns_per_op": 500.0, "allocs_per_op": 1000, "allocs_tol_pct": 1 }
   },
   "seed_reference": {
     "comment": "must be ignored by the gate",
@@ -39,11 +40,14 @@ expect() {
     ok=$((ok + 1))
 }
 
-# 1. Matching run: both benchmarks present, allocs exact -> pass. Also
-#    proves the seed_reference allocs (9) do not shadow the real baseline.
+# 1. Matching run: all benchmarks present, allocs exact -> pass. Also
+#    proves the seed_reference allocs (9) do not shadow the real baseline,
+#    and that custom-metric columns (sim_us, windows) before the -benchmem
+#    pair do not shift the allocs/op parse.
 cat >"$tmp/good.out" <<'EOF'
 BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
 BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkLoose-8   	   1000	       510.0 ns/op	     144 sim_us	    6000 windows	      64 B/op	    1000 allocs/op
 EOF
 expect pass "matching run" "$tmp/good.out"
 
@@ -52,6 +56,7 @@ expect pass "matching run" "$tmp/good.out"
 cat >"$tmp/extra.out" <<'EOF'
 BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
 BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkLoose-8   	   1000	       510.0 ns/op	      64 B/op	    1000 allocs/op
 BenchmarkGamma-8   	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
 EOF
 expect fail "benchmark without baseline" "$tmp/extra.out"
@@ -62,15 +67,42 @@ BenchmarkAlpha	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
 EOF
 expect fail "baseline not exercised" "$tmp/short.out"
 
-# 4. allocs/op drift -> fail.
+# 4. allocs/op drift on an exact-match baseline -> fail.
 cat >"$tmp/alloc.out" <<'EOF'
 BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       1 allocs/op
 BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkLoose-8   	   1000	       510.0 ns/op	      64 B/op	    1000 allocs/op
 EOF
 expect fail "allocs/op regression" "$tmp/alloc.out"
 
 # 5. Empty run output -> fail (the original silent-rot failure mode).
 : >"$tmp/empty.out"
 expect fail "empty benchmark output" "$tmp/empty.out"
+
+# 6. allocs/op drift inside a declared allocs_tol_pct band -> pass (the
+#    multi-lane workload benches drift by a handful of allocations).
+cat >"$tmp/tol.out" <<'EOF'
+BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkLoose-8   	   1000	       510.0 ns/op	      64 B/op	    1008 allocs/op
+EOF
+expect pass "allocs drift within tolerance" "$tmp/tol.out"
+
+# 7. allocs/op drift beyond the band -> fail (the tolerance is a band,
+#    not an off switch).
+cat >"$tmp/tolfail.out" <<'EOF'
+BenchmarkAlpha-8   	1000000	        11.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBeta-8    	 100000	       105.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkLoose-8   	   1000	       510.0 ns/op	      64 B/op	    1020 allocs/op
+EOF
+expect fail "allocs drift beyond tolerance" "$tmp/tolfail.out"
+
+# 8. A run without -benchmem columns -> fail (nothing to gate).
+cat >"$tmp/nomem.out" <<'EOF'
+BenchmarkAlpha-8   	1000000	        11.0 ns/op
+BenchmarkBeta-8    	 100000	       105.0 ns/op
+BenchmarkLoose-8   	   1000	       510.0 ns/op
+EOF
+expect fail "missing -benchmem columns" "$tmp/nomem.out"
 
 echo "check_selftest: $ok gate scenarios behaved as expected"
