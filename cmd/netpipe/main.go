@@ -51,6 +51,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"portals3/internal/experiments"
 	"portals3/internal/flightrec"
@@ -148,9 +149,19 @@ func main() {
 	hot := flag.Int("hot", 0, "hot-spot destination node id (with -workload hotspot)")
 	hotFrac := flag.Float64("hotfrac", 0.2, "probability a message targets the hot node (with -workload hotspot)")
 	wseed := flag.Uint64("wseed", 1, "destination-stream seed (with -workload random/hotspot/sweep)")
+	progress := flag.Bool("progress", false, "print a live progress line (virtual-time rate, events/sec, lane imbalance, heap, ETA) to stderr (with -torus)")
+	progressEvery := flag.Duration("progress-every", time.Second, "progress line period in wall-clock (with -progress)")
+	hostprofOut := flag.String("hostprof", "", "write the host-execution profile (per-lane busy/wait/drain, stragglers, memory watermarks) as JSON; render with p3stat (with -torus)")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a host heap profile at exit to this file (go tool pprof)")
 	flag.Parse()
+	// Every -workload names a torus workload, so setting it explicitly
+	// implies -torus: `netpipe -workload sweep -shards 4` runs the sweep.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			*torus = true
+		}
+	})
 
 	p := model.Defaults()
 	rules, err := model.ParseFaults(*faults)
@@ -165,6 +176,14 @@ func main() {
 	// construction (machine.seqOnly or a schedule-validation panic).
 	if *seq && *shards > 1 {
 		fmt.Fprintf(os.Stderr, "netpipe: conflicting flags: -seq forces the sequential reference kernel; drop -seq or -shards %d\n", *shards)
+		os.Exit(2)
+	}
+	if (*progress || *hostprofOut != "") && !*torus {
+		fmt.Fprintln(os.Stderr, "netpipe: -progress/-hostprof profile the sharded kernel's lanes; they need -torus (classic runs profile with -cpuprofile)")
+		os.Exit(2)
+	}
+	if *progressEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "netpipe: -progress-every %v must be positive\n", *progressEvery)
 		os.Exit(2)
 	}
 	var loadLadder []float64
@@ -257,6 +276,7 @@ func main() {
 			msgs: *msgs, load: *load, loads: loadLadder,
 			hot: topo.NodeID(*hot), hotFrac: *hotFrac, wseed: *wseed,
 			gbn: *gbn, stats: *stats, telemetryOut: *telemetryOut, sampleUs: *sample,
+			progress: *progress, progressEvery: *progressEvery, hostprofOut: *hostprofOut,
 		})
 	case *fig != "":
 		runFigures(p, *fig, *checks)
@@ -301,6 +321,10 @@ type torusOpts struct {
 	gbn, stats   bool
 	telemetryOut string
 	sampleUs     int
+
+	progress      bool
+	progressEvery time.Duration
+	hostprofOut   string
 }
 
 // baseConfig assembles the TorusConfig shared by every workload from the
@@ -320,7 +344,62 @@ func (o torusOpts) baseConfig(p model.Params) experiments.TorusConfig {
 	if o.steps > 0 {
 		cfg.Steps = o.steps
 	}
+	if o.hostprofOut != "" || o.progress {
+		cfg.HostProf = true
+	}
+	if o.progress {
+		cfg.Progress = printProgress
+		cfg.ProgressEvery = o.progressEvery
+	}
 	return cfg
+}
+
+// printProgress renders one live host-execution snapshot on stderr — the
+// -progress line. Stdout stays reserved for the workload's tables.
+func printProgress(hp sim.HostProgress) {
+	eta := "?"
+	if hp.ETANs >= 0 {
+		eta = fmtWall(hp.ETANs)
+	}
+	target := ""
+	if hp.Horizon > 0 && hp.Horizon != sim.Never {
+		target = fmt.Sprintf("/%.1fus", float64(hp.Horizon)/1e6)
+	}
+	fmt.Fprintf(os.Stderr,
+		"progress: t=%.1fus%s wall=%s rate=%.1fus/s events=%d (%.0f/s) windows=%d imb=%.1f%% heap=%.1fMB eta=%s\n",
+		float64(hp.SimNow)/1e6, target, fmtWall(hp.WallNs), hp.SimRate,
+		hp.Events, hp.EventRate, hp.Windows, hp.ImbalancePct,
+		float64(hp.HeapInuse)/(1<<20), eta)
+}
+
+// fmtWall renders wall-clock nanoseconds compactly (1.2s, 340ms).
+func fmtWall(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}
+
+// writeHostProfile writes the accumulated host-execution profile JSON.
+func writeHostProfile(hp *machine.HostProfile, path string) {
+	if hp == nil {
+		fmt.Fprintln(os.Stderr, "netpipe: no host profile collected")
+		os.Exit(1)
+	}
+	b, err := hp.JSON()
+	if err == nil {
+		err = os.WriteFile(path, b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("host profile written to %s (render with p3stat)\n", path)
 }
 
 // trafficConfig assembles the generator shape for the random/hotspot/sweep
@@ -395,6 +474,9 @@ func runTorus(p model.Params, o torusOpts) {
 		}
 		fmt.Printf("telemetry written to %s (render with p3stat)\n", o.telemetryOut)
 	}
+	if o.hostprofOut != "" {
+		writeHostProfile(r.HostProfile, o.hostprofOut)
+	}
 	for _, e := range r.Errors {
 		fmt.Fprintln(os.Stderr, "ERROR: "+e)
 	}
@@ -419,6 +501,7 @@ func runSweep(p model.Params, o torusOpts) {
 	}
 	arms := make([]arm, 0, len(o.loads))
 	failed := false
+	var hostprof *machine.HostProfile // merged across the sweep's arms
 	for _, load := range o.loads {
 		cfg := o.trafficConfig(p, load)
 		cfg.HotFrac = 0
@@ -427,6 +510,13 @@ func runSweep(p model.Params, o torusOpts) {
 			cfg.SamplePeriod = sim.Time(o.sampleUs) * sim.Microsecond
 		}
 		r := experiments.TorusTraffic(cfg)
+		if r.HostProfile != nil {
+			if hostprof == nil {
+				hostprof = r.HostProfile
+			} else {
+				hostprof.Merge(r.HostProfile)
+			}
+		}
 		for _, e := range r.Errors {
 			fmt.Fprintln(os.Stderr, "ERROR: "+e)
 			failed = true
@@ -467,6 +557,9 @@ func runSweep(p model.Params, o torusOpts) {
 	for _, a := range arms {
 		fmt.Printf("  %6.2f %10.1fus %10.3fus %10.3fus\n",
 			a.load, float64(a.finishPs)/1e6, a.e2eMean/1e6, a.e2eP99/1e6)
+	}
+	if o.hostprofOut != "" {
+		writeHostProfile(hostprof, o.hostprofOut)
 	}
 	if failed {
 		os.Exit(1)

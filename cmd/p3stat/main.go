@@ -1,19 +1,25 @@
 // Command p3stat renders saved observability artifacts: telemetry JSON
-// exports (cmd/netpipe -telemetry) and chrome-trace timelines (cmd/netpipe
-// -trace), as aligned text tables — the offline half of the machine's RAS
-// view.
+// exports (cmd/netpipe -telemetry), host-execution profiles (cmd/netpipe
+// -hostprof), and chrome-trace timelines (cmd/netpipe -trace), as aligned
+// text tables — the offline half of the machine's RAS view.
 //
 //	p3stat run.json                # metrics, latency breakdown, series
+//	p3stat out.hostprof.json       # host-execution (lane busy/wait/drain) table
 //	p3stat -trace timeline.json    # per-track / per-handler summary
+//
+// Host profiles are recognized by their "kind": "host_profile" field; any
+// other JSON document renders as telemetry.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"portals3/internal/machine"
 	"portals3/internal/telemetry"
 	"portals3/internal/trace"
 )
@@ -31,7 +37,7 @@ func main() {
 		}
 	case flag.NArg() > 0:
 		for _, path := range flag.Args() {
-			if err := renderTelemetry(path, *top); err != nil {
+			if err := renderFile(path, *top); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -56,18 +62,94 @@ func summarizeTrace(path string) error {
 	return nil
 }
 
-func renderTelemetry(path string, top int) error {
-	f, err := os.Open(path)
+// renderFile routes one artifact by its JSON kind discriminator: a
+// host-execution profile renders as the lane table, anything else as a
+// telemetry export.
+func renderFile(path string, top int) error {
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	e, err := telemetry.ReadJSON(f)
+	var kind struct {
+		Kind string `json:"kind"`
+	}
+	if json.Unmarshal(b, &kind) == nil && kind.Kind == machine.HostProfileKind {
+		var hp machine.HostProfile
+		if err := json.Unmarshal(b, &hp); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		renderHostProfile(&hp, path, top)
+		return nil
+	}
+	e, err := telemetry.ReadJSON(strings.NewReader(string(b)))
 	if err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	render(e, path, top)
 	return nil
+}
+
+// wallMs renders a nanosecond quantity in milliseconds.
+func wallMs(ns int64) string { return fmt.Sprintf("%.1fms", float64(ns)/1e6) }
+
+// pctOf renders a share of a total as a percentage, "-" when the total is
+// zero.
+func pctOf(part, total int64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+// renderHostProfile prints the host-execution table: the global
+// wall-clock split, lane imbalance, memory high-water marks, and the
+// per-lane busy/wait breakdown ranked by straggler windows — the lanes
+// the rest of the machine most often waited for, first.
+func renderHostProfile(hp *machine.HostProfile, path string, top int) {
+	merged := ""
+	if hp.Runs > 1 {
+		merged = fmt.Sprintf(", %d runs merged", hp.Runs)
+	}
+	fmt.Printf("# %s  host-execution profile (shards %d%s)\n", path, hp.Shards, merged)
+	fmt.Printf("  windows %d, events %d", hp.Windows, hp.Events)
+	if hp.Windows > 0 {
+		fmt.Printf(" (%.1f events/window)", float64(hp.Events)/float64(hp.Windows))
+	}
+	fmt.Println()
+	fmt.Printf("  wall %s: exec %s (%s), drain %s (%s); measured run wall %s\n",
+		wallMs(hp.WallNs), wallMs(hp.ExecNs), pctOf(hp.ExecNs, hp.WallNs),
+		wallMs(hp.DrainNs), pctOf(hp.DrainNs, hp.WallNs), wallMs(hp.RunWallNs))
+	fmt.Printf("  lane imbalance per window: mean %.1f%%, max %.1f%%\n",
+		hp.MeanImbalancePct, hp.MaxImbalancePct)
+	fmt.Printf("  memory high-water: heap-inuse %.1fMB, heap-alloc %.1fMB, sys %.1fMB, %d GCs (%d samples)\n",
+		float64(hp.HeapInuseHigh)/(1<<20), float64(hp.HeapAllocHigh)/(1<<20),
+		float64(hp.SysHigh)/(1<<20), hp.NumGC, hp.MemSamples)
+	if len(hp.Lanes) == 0 {
+		fmt.Println()
+		return
+	}
+	lanes := append([]machine.HostLane(nil), hp.Lanes...)
+	sort.Slice(lanes, func(i, j int) bool {
+		a, b := lanes[i], lanes[j]
+		if a.StragglerWindows != b.StragglerWindows {
+			return a.StragglerWindows > b.StragglerWindows
+		}
+		if a.BusyNs != b.BusyNs {
+			return a.BusyNs > b.BusyNs
+		}
+		return a.Lane < b.Lane
+	})
+	shown := lanes[:capLen(len(lanes), top)]
+	fmt.Printf("\nlane breakdown (worst stragglers first):\n")
+	fmt.Printf("  %6s %10s %7s %10s %12s %10s %9s\n",
+		"lane", "busy", "busy%", "wait", "events", "straggler", "windows%")
+	for _, l := range shown {
+		fmt.Printf("  %6d %10s %7s %10s %12d %10d %9s\n",
+			l.Lane, wallMs(l.BusyNs), pctOf(l.BusyNs, hp.WallNs), wallMs(l.WaitNs),
+			l.Events, l.StragglerWindows, pctOf(int64(l.StragglerWindows), int64(hp.Windows)))
+	}
+	footer(len(shown), len(lanes), "lanes")
+	fmt.Println()
 }
 
 // ps-valued metric names render in microseconds; everything else raw.

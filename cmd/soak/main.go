@@ -30,23 +30,29 @@ import (
 	"strconv"
 	"strings"
 
+	"portals3/internal/machine"
 	"portals3/internal/model"
 	"portals3/internal/sim"
 	"portals3/internal/soak"
 )
 
-// trendRecord is one campaign's row in the trend JSON.
+// trendRecord is one campaign's row in the trend JSON. wall_ms and
+// peak_heap_bytes are host-side (summed and maxed across the shard arms):
+// they track soak-time regressions across runs and take no part in the
+// shard-invariance comparison.
 type trendRecord struct {
-	Workload  string `json:"workload"`
-	Seed      int64  `json:"seed"`
-	Shards    string `json:"shards"`
-	FinishPs  int64  `json:"finish_ps"`
-	Msgs      int    `json:"msgs"`
-	Injected  uint64 `json:"injected"`
-	Recovered uint64 `json:"recovered"`
-	Condemned uint64 `json:"condemned"`
-	Open      uint64 `json:"open"`
-	Failed    bool   `json:"failed"`
+	Workload      string `json:"workload"`
+	Seed          int64  `json:"seed"`
+	Shards        string `json:"shards"`
+	FinishPs      int64  `json:"finish_ps"`
+	Msgs          int    `json:"msgs"`
+	Injected      uint64 `json:"injected"`
+	Recovered     uint64 `json:"recovered"`
+	Condemned     uint64 `json:"condemned"`
+	Open          uint64 `json:"open"`
+	Failed        bool   `json:"failed"`
+	WallMs        int64  `json:"wall_ms"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // trendFile is the cumulative trend document: one entry appended per soak
@@ -87,6 +93,8 @@ func main() {
 	bisect := flag.Bool("bisect", true, "auto-bisect failing campaigns to a minimal schedule")
 	out := flag.String("out", "", "append the run's campaign records to this trend JSON file")
 	artifacts := flag.String("artifacts", "soak_artifacts", "directory for failure artifacts (p3dump files, minimal schedules)")
+	progress := flag.Bool("progress", false, "print live host-execution progress lines to stderr during long campaigns")
+	hostprof := flag.Bool("hostprof", false, "write each arm's host-execution profile JSON under -artifacts (render with p3stat)")
 	flag.Parse()
 
 	shardCounts, err := parseShards(*shardsFlag)
@@ -106,11 +114,17 @@ func main() {
 			fatalf(2, "soak: %v", err)
 		}
 		c := soak.Campaign{Workload: *workload, Shards: shardCounts[0], Schedule: sched, FlightRec: true}
+		if *progress {
+			c.Progress = printProgress
+		}
 		if _, err := soak.Resolve(c); err != nil {
 			fatalf(2, "%v", err)
 		}
 		r := soak.Run(c)
 		fmt.Print(r.Summary())
+		if *hostprof {
+			writeHostProfile(*artifacts, fmt.Sprintf("%s-replay-shards%d", c.Workload, c.Shards), r.HostProfile)
+		}
 		if r.Failed() {
 			writeDumps(*artifacts, fmt.Sprintf("%s-replay", c.Workload), r.Dumps)
 			os.Exit(1)
@@ -137,7 +151,10 @@ func main() {
 					Kind: model.SchedCorrupt, Node: 2, At: 300 * sim.Microsecond,
 				})
 			}
-			ok, rec := runArms(c, shardCounts, *bisect, *artifacts)
+			if *progress {
+				c.Progress = printProgress
+			}
+			ok, rec := runArms(c, shardCounts, *bisect, *artifacts, *hostprof)
 			records = append(records, rec)
 			if !ok {
 				failed = true
@@ -159,14 +176,25 @@ func main() {
 
 // runArms runs one (workload, seed) campaign at every shard count,
 // requires byte-identical summaries across arms, and triages any failure.
-func runArms(c soak.Campaign, shardCounts []int, bisect bool, artifacts string) (bool, trendRecord) {
+// The trend record's host-side columns aggregate across arms: wall-clock
+// sums (total soak time for the campaign), peak heap takes the max.
+func runArms(c soak.Campaign, shardCounts []int, bisect bool, artifacts string, hostprof bool) (bool, trendRecord) {
 	var ref *soak.Result
 	var refSummary string
 	ok := true
+	var wallNs int64
+	var peakHeap uint64
 	for _, n := range shardCounts {
 		cc := c
 		cc.Shards = n
 		r := soak.Run(cc)
+		wallNs += r.WallNs
+		if r.PeakHeapBytes > peakHeap {
+			peakHeap = r.PeakHeapBytes
+		}
+		if hostprof {
+			writeHostProfile(artifacts, fmt.Sprintf("%s-seed%d-shards%d", c.Workload, c.Seed, n), r.HostProfile)
+		}
 		fmt.Printf("campaign %s seed=%d shards=%d: ", c.Workload, c.Seed, n)
 		if r.Failed() {
 			fmt.Printf("FAIL (%d invariant violations)\n", len(r.Errors))
@@ -189,6 +217,7 @@ func runArms(c soak.Campaign, shardCounts []int, bisect bool, artifacts string) 
 		Injected: ref.Ledger.Injected(), Recovered: ref.Ledger.Recovered,
 		Condemned: ref.Ledger.Condemned, Open: ref.Ledger.Open(),
 		Failed: !ok,
+		WallMs: wallNs / 1e6, PeakHeapBytes: peakHeap,
 	}
 	if !ok {
 		fmt.Print(refSummary)
@@ -235,6 +264,42 @@ func triage(c soak.Campaign, shards int, artifacts string) {
 		fmt.Printf("minimal schedule written to %s\n", schedPath)
 	}
 	writeDumps(artifacts, base, out.Result.Dumps)
+}
+
+// printProgress renders one live host-execution snapshot on stderr,
+// mirroring netpipe's -progress line.
+func printProgress(hp sim.HostProgress) {
+	eta := "?"
+	if hp.ETANs >= 0 {
+		eta = fmt.Sprintf("%.1fs", float64(hp.ETANs)/1e9)
+	}
+	fmt.Fprintf(os.Stderr,
+		"progress: t=%.1fus wall=%.1fs rate=%.1fus/s events=%d (%.0f/s) windows=%d imb=%.1f%% heap=%.1fMB eta=%s\n",
+		float64(hp.SimNow)/1e6, float64(hp.WallNs)/1e9, hp.SimRate,
+		hp.Events, hp.EventRate, hp.Windows, hp.ImbalancePct,
+		float64(hp.HeapInuse)/(1<<20), eta)
+}
+
+// writeHostProfile saves one arm's host-execution profile under the
+// artifacts directory.
+func writeHostProfile(artifacts, base string, hp *machine.HostProfile) {
+	if hp == nil {
+		return
+	}
+	if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		return
+	}
+	b, err := hp.JSON()
+	if err == nil {
+		path := filepath.Join(artifacts, base+".hostprof.json")
+		if err = os.WriteFile(path, b, 0o644); err == nil {
+			fmt.Printf("host profile written to %s (render with p3stat)\n", path)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+	}
 }
 
 // writeDumps saves every flight-recorder artifact of a failing run.

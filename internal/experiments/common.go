@@ -47,6 +47,12 @@ func buildTorusMachine(cfg *TorusConfig) (*machine.Machine, *topo.Topology) {
 	if cfg.Trace {
 		m.EnableTracing()
 	}
+	if cfg.HostProf || cfg.Progress != nil {
+		m.EnableHostProfile()
+		if cfg.Progress != nil {
+			m.SetProgress(cfg.ProgressEvery, cfg.Progress)
+		}
+	}
 	return m, tp
 }
 
@@ -102,6 +108,9 @@ func harvest(m *machine.Machine, cfg TorusConfig, ras *machine.RAS, res *TorusRe
 		for _, f := range ras.Dead() {
 			res.Errors = append(res.Errors, "ras: "+f.String())
 		}
+	}
+	if cfg.HostProf || cfg.Progress != nil {
+		res.HostProfile = m.HostProfile()
 	}
 }
 

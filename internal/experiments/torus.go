@@ -13,6 +13,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"portals3/internal/core"
 	"portals3/internal/fabric"
@@ -59,6 +60,16 @@ type TorusConfig struct {
 	SamplePeriod sim.Time
 	StallWindow  sim.Time
 	RASPeriod    sim.Time
+
+	// HostProf arms the host-execution profiler: the run's result carries a
+	// machine.HostProfile (wall-clock lane accounting, straggler ranking,
+	// memory watermarks). Host-side and nondeterministic — never part of
+	// the Digest. Progress additionally registers a live reporter invoked
+	// about every ProgressEvery of wall-clock (default 1s) and implies
+	// HostProf.
+	HostProf      bool
+	Progress      func(sim.HostProgress)
+	ProgressEvery time.Duration
 }
 
 // DefaultTorusConfig is the benchmark shape: 512 nodes, 1 KB faces,
@@ -87,6 +98,11 @@ type TorusResult struct {
 
 	// Errors lists halo verification failures; empty on a correct run.
 	Errors []string
+
+	// HostProfile is the host-execution profile (HostProf on). Wall-clock
+	// is nondeterministic, so Digest deliberately never reads this field —
+	// TestTorusDifferentialHostProfiler enforces that exclusion.
+	HostProfile *machine.HostProfile
 }
 
 // Digest concatenates every simulated artifact of the run — everything

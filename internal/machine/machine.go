@@ -10,6 +10,7 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"portals3/internal/core"
 	"portals3/internal/fabric"
@@ -76,6 +77,12 @@ type Machine struct {
 	tels []*telemetry.Telemetry
 	trs  []*trace.Tracer
 	mu   sync.Mutex
+
+	// Host-execution profiling (hostprof.go): whether the kernel profiler
+	// is armed, and the measured wall-clock of the kernel run calls — the
+	// external reference the profiler's accounting is validated against.
+	hostprofOn bool
+	runWall    time.Duration
 
 	rec            *flightrec.Recorder
 	stall          *StallDetector
@@ -372,7 +379,13 @@ const accelPendings = 256
 // instead of panicking.
 func (m *Machine) Run() {
 	if m.kern != nil {
-		m.kern.Run()
+		if m.hostprofOn {
+			t0 := time.Now()
+			m.kern.Run()
+			m.runWall += time.Since(t0)
+		} else {
+			m.kern.Run()
+		}
 	} else {
 		m.S.Run()
 	}
@@ -421,7 +434,13 @@ func (m *Machine) flushMeters() {
 // (sim.Kernel.RunUntil documents the argument).
 func (m *Machine) RunUntil(t sim.Time) {
 	if m.kern != nil {
-		m.kern.RunUntil(t)
+		if m.hostprofOn {
+			t0 := time.Now()
+			m.kern.RunUntil(t)
+			m.runWall += time.Since(t0)
+		} else {
+			m.kern.RunUntil(t)
+		}
 		return
 	}
 	m.S.RunUntil(t)

@@ -37,9 +37,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
+	"time"
 )
 
 // post is one cross-lane mailbox entry.
@@ -78,6 +82,13 @@ type Kernel struct {
 
 	// Windows counts synchronization windows executed, for diagnostics.
 	Windows uint64
+
+	// Host-execution profiler (hostprof.go); nil unless EnableHostProfile.
+	// laneBusy[i] is lane i's busy time for the current window, written
+	// only by the goroutine that ran the lane and read by the coordinator
+	// after the join (the join channel is the happens-before edge).
+	prof     *hostProf
+	laneBusy []int64
 }
 
 // ktick is one registered periodic barrier tick.
@@ -221,10 +232,21 @@ func (k *Kernel) drain() int {
 // processes still blocked at global quiescence are deadlocked and Run
 // panics with a diagnostic.
 func (k *Kernel) Run() {
+	hp := k.prof
+	if hp != nil {
+		hp.horizon = 0 // no target: progress reports show an unknown ETA
+	}
 	k.runWindows(Never)
+	var t0 time.Time
+	if hp != nil {
+		t0 = time.Now()
+	}
 	k.horizon = -1
 	if p := k.blockedProcs(); p > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked across %d lanes with no pending events or mail", p, len(k.lanes)))
+	}
+	if hp != nil {
+		hp.tail(time.Since(t0))
 	}
 }
 
@@ -247,7 +269,15 @@ func (k *Kernel) Run() {
 // Processes still blocked past the horizon are legal here — only Run's
 // final quiescence performs the deadlock check.
 func (k *Kernel) RunUntil(t Time) {
+	hp := k.prof
+	if hp != nil {
+		hp.horizon = t
+	}
 	k.runWindows(t)
+	var t0 time.Time
+	if hp != nil {
+		t0 = time.Now()
+	}
 	// The last window may have stopped short of t (next event beyond t, or
 	// none at all); lift the remaining lane clocks so Now() reads t, exactly
 	// like Sim.RunUntil. Lanes the last horizon already carried past t keep
@@ -261,31 +291,56 @@ func (k *Kernel) RunUntil(t Time) {
 	if len(k.ticks) > 0 {
 		k.fireTicks(t + 1)
 	}
+	if hp != nil {
+		hp.tail(time.Since(t0))
+		hp.horizon = 0
+	}
 }
 
 // runWindows advances the window protocol while the minimum next-event time
 // lies at or before limit. On return all mail is drained into lanes (the
 // drain precedes the limit check) and the next pending event, if any, lies
-// beyond limit.
+// beyond limit. The coordinator runs under a lane=0 pprof label (it executes
+// lane 0's events itself), so CPU profiles attribute every sample to a lane.
 func (k *Kernel) runWindows(limit Time) {
+	pprof.Do(context.Background(), pprof.Labels("lane", "0"), func(context.Context) {
+		k.windowLoop(limit)
+	})
+}
+
+func (k *Kernel) windowLoop(limit Time) {
 	n := len(k.lanes)
 	// With a single scheduling core there is no parallelism to win, only
 	// per-window handoff cost to pay; run the lanes inline. The window
 	// protocol — and therefore every simulated result — is identical.
 	parallel := n > 1 && runtime.GOMAXPROCS(0) > 1
+	hp := k.prof
 	if parallel && k.work == nil {
 		k.work = make([]chan Time, n)
 		k.join = make(chan struct{}, n)
+		// Lane busy times are profiler state, but workers capture the slice
+		// at creation: EnableHostProfile is documented to precede Run.
+		var busy []int64
+		if hp != nil {
+			busy = k.laneBusy
+		}
 		for i := 1; i < n; i++ {
 			ch := make(chan Time)
 			k.work[i] = ch
 			lane := k.lanes[i]
-			go func() {
+			id := i
+			go pprof.Do(context.Background(), pprof.Labels("lane", strconv.Itoa(id)), func(context.Context) {
 				for h := range ch {
-					lane.RunUntil(h)
+					if busy != nil {
+						t0 := time.Now()
+						lane.RunUntil(h)
+						busy[id] = int64(time.Since(t0))
+					} else {
+						lane.RunUntil(h)
+					}
 					k.join <- struct{}{}
 				}
-			}()
+			})
 		}
 		defer func() {
 			for i := 1; i < n; i++ {
@@ -293,6 +348,14 @@ func (k *Kernel) runWindows(limit Time) {
 			}
 			k.work = nil
 		}()
+	}
+	// mark is the running segment boundary: the profiled wall-clock is an
+	// unbroken chain of drain segments (coordinator bookkeeping, lanes idle)
+	// and window-execution segments (fork to join), each ending where the
+	// next begins, so WallNs == DrainNs + ExecNs with no unattributed gaps.
+	var mark time.Time
+	if hp != nil {
+		mark = time.Now()
 	}
 	for {
 		k.drain()
@@ -307,6 +370,11 @@ func (k *Kernel) runWindows(limit Time) {
 			}
 		}
 		if !any || m > limit {
+			if hp != nil {
+				d := time.Since(mark)
+				hp.drainNs += int64(d)
+				hp.wallNs += int64(d)
+			}
 			return
 		}
 		if len(k.ticks) > 0 {
@@ -315,18 +383,43 @@ func (k *Kernel) runWindows(limit Time) {
 		h := m + k.lookahead - 1
 		k.horizon = h
 		k.Windows++
+		var forkAt time.Time
+		if hp != nil {
+			forkAt = time.Now()
+			d := forkAt.Sub(mark)
+			hp.drainNs += int64(d)
+			hp.wallNs += int64(d)
+		}
 		if parallel {
 			for i := 1; i < n; i++ {
 				k.work[i] <- h
 			}
-			k.lanes[0].RunUntil(h)
+			if hp != nil {
+				t0 := time.Now()
+				k.lanes[0].RunUntil(h)
+				k.laneBusy[0] = int64(time.Since(t0))
+			} else {
+				k.lanes[0].RunUntil(h)
+			}
 			for i := 1; i < n; i++ {
 				<-k.join
+			}
+		} else if hp != nil {
+			for i, l := range k.lanes {
+				t0 := time.Now()
+				l.RunUntil(h)
+				k.laneBusy[i] = int64(time.Since(t0))
 			}
 		} else {
 			for _, l := range k.lanes {
 				l.RunUntil(h)
 			}
+		}
+		if hp != nil {
+			mark = time.Now()
+			exec := mark.Sub(forkAt)
+			hp.wallNs += int64(exec)
+			hp.window(k, exec)
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"portals3/internal/core"
 	"portals3/internal/experiments"
@@ -81,6 +82,10 @@ type Campaign struct {
 	// FlightRec enables the per-node flight recorder so a failing run
 	// carries p3dump-renderable artifacts.
 	FlightRec bool
+
+	// Progress, when set, receives live host-execution snapshots during
+	// the run (about one per second of wall-clock) — cmd/soak's -progress.
+	Progress func(sim.HostProgress)
 }
 
 // Result is one campaign's outcome.
@@ -100,6 +105,14 @@ type Result struct {
 	// Dumps holds flight-recorder artifacts (FlightRec on): "end-of-run"
 	// plus one entry per failure report that carried a detection dump.
 	Dumps map[string][]byte
+
+	// Host-execution measurements. Wall-clock and heap are host-side and
+	// nondeterministic, so Summary deliberately never reads them — they
+	// feed the trend JSON (soak-time regression tracking), not the
+	// shard-invariance comparison.
+	WallNs        int64
+	PeakHeapBytes uint64
+	HostProfile   *machine.HostProfile
 }
 
 // Failed reports whether any soak invariant was violated.
@@ -178,8 +191,12 @@ func Resolve(c Campaign) (model.FaultSchedule, error) {
 	return model.GenSchedule(c.Seed, tp, n, span(c.Workload)), nil
 }
 
-// Run executes one campaign and audits the soak invariants.
+// Run executes one campaign and audits the soak invariants. Every
+// campaign runs with the host-execution profiler armed, so the result
+// carries wall-clock, peak heap, and the lane profile alongside the
+// deterministic outcome.
 func Run(c Campaign) Result {
+	start := time.Now()
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
@@ -187,6 +204,7 @@ func Run(c Campaign) Result {
 	sched, err := Resolve(c)
 	if err != nil {
 		res.Errors = append(res.Errors, err.Error())
+		res.WallNs = int64(time.Since(start))
 		return res
 	}
 	res.Schedule = sched
@@ -203,6 +221,10 @@ func Run(c Campaign) Result {
 		runLine(c, sched, &res, true)
 	case GbnStream:
 		runLine(c, sched, &res, false)
+	}
+	res.WallNs = int64(time.Since(start))
+	if res.HostProfile != nil {
+		res.PeakHeapBytes = res.HostProfile.HeapInuseHigh
 	}
 	return res
 }
@@ -250,6 +272,8 @@ func runTorus(c Campaign, sched model.FaultSchedule, res *Result) {
 		Schedule:    sched,
 		FlightRec:   c.FlightRec,
 		StallWindow: stallWindow(sched),
+		HostProf:    true,
+		Progress:    c.Progress,
 	}
 	r := experiments.TorusHalo(cfg)
 	absorb(res, &r, r.Nodes*6*cfg.Steps, c.FlightRec)
@@ -269,6 +293,7 @@ func absorb(res *Result, r *experiments.TorusResult, msgs int, flightRec bool) {
 	if flightRec && len(r.DumpBytes) > 0 {
 		res.Dumps = map[string][]byte{"end-of-run": r.DumpBytes}
 	}
+	res.HostProfile = r.HostProfile
 }
 
 // runCollective drives the MPI allreduce/broadcast-tree workload: every
@@ -282,6 +307,8 @@ func runCollective(c Campaign, sched model.FaultSchedule, res *Result) {
 		Schedule:    sched,
 		FlightRec:   c.FlightRec,
 		StallWindow: stallWindow(sched),
+		HostProf:    true,
+		Progress:    c.Progress,
 	}
 	r := experiments.TorusCollective(cfg)
 	absorb(res, &r, experiments.CollectiveMsgs(r.Nodes, cfg.Steps), c.FlightRec)
@@ -299,6 +326,8 @@ func runTraffic(c Campaign, sched model.FaultSchedule, res *Result, hot bool) {
 			Schedule:    sched,
 			FlightRec:   c.FlightRec,
 			StallWindow: stallWindow(sched),
+			HostProf:    true,
+			Progress:    c.Progress,
 		},
 		Msgs: 24,
 		Load: 0.25,
@@ -328,6 +357,10 @@ func runLine(c Campaign, sched model.FaultSchedule, res *Result, incast bool) {
 	}
 	m := machine.NewSharded(p, tp, c.Shards)
 	m.EnableGoBackN()
+	m.EnableHostProfile()
+	if c.Progress != nil {
+		m.SetProgress(0, c.Progress)
+	}
 	if c.FlightRec {
 		m.EnableFlightRecorder(0)
 	}
@@ -473,6 +506,7 @@ func runLine(c Campaign, sched model.FaultSchedule, res *Result, incast bool) {
 	}
 	res.Errors = append(res.Errors, mu...)
 	audit(m, res)
+	res.HostProfile = m.HostProfile()
 }
 
 // fillByte is the uniform fill of message seq from sender nid — a pure

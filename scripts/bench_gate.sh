@@ -12,7 +12,9 @@
 # entry carries "allocs_tol_pct": N — the multi-lane workload benchmarks
 # drift by a handful of allocations with goroutine scheduling, so they
 # declare a small percentage band instead. ns/op over 3x the baseline only
-# warns (wall clock moves with the host machine).
+# warns (wall clock moves with the host machine), unless the baseline entry
+# carries "ns_tol_pct": N — then sec/op becomes a hard gate within that
+# band, for benchmarks whose runtime a maintainer has decided to defend.
 #
 # Usage: bench_gate.sh <bench-output-file> <baseline-json>
 # Covered by scripts/check_selftest.sh.
@@ -69,9 +71,21 @@ while read -r line; do
         fi
         fail=1
     fi
-    over=$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { print (ns > 3 * base) ? 1 : 0 }')
-    if [ "$over" = "1" ]; then
-        echo "WARN: $name ns/op = $ns, baseline $base_ns (>3x; machine-dependent, not fatal)"
+    ns_tol=$(benchobj |
+        sed -n "s/.*\"$name\"[[:space:]]*:[[:space:]]*{[^}]*\"ns_tol_pct\"[[:space:]]*:[[:space:]]*\([0-9.]*\).*/\1/p" |
+        head -1)
+    if [ -n "$ns_tol" ]; then
+        ns_ok=$(awk -v ns="$ns" -v b="$base_ns" -v t="$ns_tol" \
+            'BEGIN { d = ns - b; if (d < 0) d = -d; print (d <= t / 100 * b) ? 1 : 0 }')
+        if [ "$ns_ok" != "1" ]; then
+            echo "FAIL: $name ns/op = $ns, baseline $base_ns (hard tolerance ${ns_tol}%)"
+            fail=1
+        fi
+    else
+        over=$(awk -v ns="$ns" -v base="$base_ns" 'BEGIN { print (ns > 3 * base) ? 1 : 0 }')
+        if [ "$over" = "1" ]; then
+            echo "WARN: $name ns/op = $ns, baseline $base_ns (>3x; machine-dependent, not fatal)"
+        fi
     fi
 done <"$out_file"
 

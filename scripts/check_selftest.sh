@@ -27,7 +27,8 @@ expect() {
     want=$1
     label=$2
     outfile=$3
-    if scripts/bench_gate.sh "$outfile" "$tmp/base.json" >"$tmp/gate.out" 2>&1; then
+    baseline=${4:-$tmp/base.json}
+    if scripts/bench_gate.sh "$outfile" "$baseline" >"$tmp/gate.out" 2>&1; then
         got=pass
     else
         got=fail
@@ -104,5 +105,40 @@ BenchmarkBeta-8    	 100000	       105.0 ns/op
 BenchmarkLoose-8   	   1000	       510.0 ns/op
 EOF
 expect fail "missing -benchmem columns" "$tmp/nomem.out"
+
+# Cases 9-11 exercise the optional ns_tol_pct hard gate on sec/op against
+# a second baseline (adding the key to base.json would change what the
+# earlier fixtures test).
+cat >"$tmp/base2.json" <<'JSON'
+{
+  "benchmarks": {
+    "BenchmarkTimed": { "ns_per_op": 100.0, "allocs_per_op": 0, "ns_tol_pct": 10 },
+    "BenchmarkFree": { "ns_per_op": 100.0, "allocs_per_op": 0 }
+  }
+}
+JSON
+
+# 9. ns/op drift inside the declared ns_tol_pct band -> pass.
+cat >"$tmp/nstol.out" <<'EOF'
+BenchmarkTimed-8   	 100000	       108.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFree-8    	 100000	       105.0 ns/op	       0 B/op	       0 allocs/op
+EOF
+expect pass "ns drift within tolerance" "$tmp/nstol.out" "$tmp/base2.json"
+
+# 10. ns/op drift beyond the band -> fail hard (with the band declared,
+#     sec/op is a real gate, not the usual >3x warning).
+cat >"$tmp/nstolfail.out" <<'EOF'
+BenchmarkTimed-8   	 100000	       120.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFree-8    	 100000	       105.0 ns/op	       0 B/op	       0 allocs/op
+EOF
+expect fail "ns drift beyond tolerance" "$tmp/nstolfail.out" "$tmp/base2.json"
+
+# 11. A huge ns/op drift on a benchmark WITHOUT ns_tol_pct still passes
+#     (warn-only: wall clock moves with the host machine).
+cat >"$tmp/nswarn.out" <<'EOF'
+BenchmarkTimed-8   	 100000	       100.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFree-8    	 100000	       900.0 ns/op	       0 B/op	       0 allocs/op
+EOF
+expect pass "ns drift without band warns only" "$tmp/nswarn.out" "$tmp/base2.json"
 
 echo "check_selftest: $ok gate scenarios behaved as expected"
